@@ -1,0 +1,340 @@
+//! Row 5: biconnected components, vertex-centric — the Tarjan-Vishkin
+//! reduction \[22\] as pipelined on Pregel by Yan et al. \[25\].
+//!
+//! Stages (each a Pregel job; stats are merged):
+//!
+//! 1. spanning tree by S-V hooking (row 10);
+//! 2. rooted tree functions `pre(v)`, `nd(v)`, `parent(v)` via Euler tour +
+//!    list ranking (row 9's pipeline);
+//! 3. a two-superstep exchange on the original graph computing
+//!    `m(v) = min/max` of `pre` over `v` and its *non-tree* neighbors;
+//! 4. bottom-up subtree aggregation on the tree producing
+//!    `low(v)/high(v)` = min/max of `m` over `subtree(v)` (O(tree height)
+//!    supersteps; Yan et al. use an `O(log n)` tour-based variant — the
+//!    verdicts are unaffected, see DESIGN.md);
+//! 5. Hash-Min connected components over the *auxiliary graph* whose
+//!    vertices are tree edges `(parent(w), w) ≡ w` and whose edges follow
+//!    Tarjan-Vishkin's two rules; aux components = biconnected components.
+//!
+//! Every stage inherits the S-V/list-ranking cost profile:
+//! `O((m + n) log n)` time-processor product versus Hopcroft-Tarjan's
+//! linear DFS — "more work: yes", not BPPA.
+
+use crate::{cc_hashmin, cc_sv, tree_order};
+use std::collections::HashMap;
+use vcgp_graph::{Graph, GraphBuilder, VertexId, INVALID_VERTEX};
+use vcgp_pregel::{Context, PregelConfig, RunStats, StateSize, VertexProgram};
+
+/// Stage 3 state: pre-order info plus the min/max over non-tree neighbors.
+#[derive(Debug, Clone, Default)]
+struct ExchangeState {
+    pre: u32,
+    parent: VertexId,
+    mlow: u32,
+    mhigh: u32,
+}
+
+impl StateSize for ExchangeState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+struct PreExchange;
+
+impl VertexProgram for PreExchange {
+    type Value = ExchangeState;
+    /// `(sender, pre(sender), parent(sender))`.
+    type Message = (VertexId, u32, VertexId);
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[(VertexId, u32, VertexId)]) {
+        if ctx.superstep() == 0 {
+            let me = ctx.id();
+            let (pre, parent) = (ctx.value().pre, ctx.value().parent);
+            ctx.send_to_all_out_neighbors((me, pre, parent));
+        } else {
+            let me = ctx.id();
+            let my_parent = ctx.value().parent;
+            let mut lo = ctx.value().pre;
+            let mut hi = ctx.value().pre;
+            for &(u, pre_u, parent_u) in messages {
+                // Skip tree edges: u is my parent, or I am u's parent.
+                if u == my_parent || parent_u == me {
+                    continue;
+                }
+                lo = lo.min(pre_u);
+                hi = hi.max(pre_u);
+            }
+            let state = ctx.value_mut();
+            state.mlow = lo;
+            state.mhigh = hi;
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Stage 4 state: bottom-up subtree min/max.
+#[derive(Debug, Clone, Copy, Default)]
+struct AggState {
+    /// Children yet to report.
+    pending: u32,
+    low: u32,
+    high: u32,
+    parent: VertexId,
+}
+
+impl StateSize for AggState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+struct SubtreeAgg;
+
+impl VertexProgram for SubtreeAgg {
+    type Value = AggState;
+    /// `(low, high)` of a completed child subtree.
+    type Message = (u32, u32);
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[(u32, u32)]) {
+        for &(lo, hi) in messages {
+            let state = ctx.value_mut();
+            state.low = state.low.min(lo);
+            state.high = state.high.max(hi);
+            state.pending -= 1;
+        }
+        let state = *ctx.value();
+        let subtree_complete = state.pending == 0 && state.parent != INVALID_VERTEX;
+        // Leaves fire in superstep 0; inner vertices fire on the superstep
+        // their last child reports.
+        if subtree_complete && (!messages.is_empty() || ctx.superstep() == 0) {
+            ctx.send(state.parent, (state.low, state.high));
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Result of the vertex-centric BCC pipeline.
+#[derive(Debug, Clone)]
+pub struct BccResult {
+    /// Block id per logical edge, indexed in `g.edges()` order.
+    pub block_of_edge: Vec<u32>,
+    /// Number of biconnected components.
+    pub count: usize,
+    /// Merged instrumentation of all pipeline stages.
+    pub stats: RunStats,
+}
+
+/// Runs the Tarjan-Vishkin pipeline on a connected undirected simple graph.
+pub fn run(graph: &Graph, config: &PregelConfig) -> BccResult {
+    assert!(!graph.is_directed(), "bcc runs on undirected graphs");
+    assert!(
+        vcgp_graph::traversal::is_connected(graph),
+        "bcc pipeline requires a connected graph"
+    );
+    assert!(
+        graph.edges().all(|(u, v, _)| u != v),
+        "bcc runs on simple graphs (no self-loops)"
+    );
+    let n = graph.num_vertices();
+    if n <= 1 || graph.num_edges() == 0 {
+        return BccResult {
+            block_of_edge: Vec::new(),
+            count: 0,
+            stats: RunStats::empty(config.num_workers),
+        };
+    }
+
+    // Stage 1: spanning tree.
+    let sv = cc_sv::run(graph, config);
+    let mut stats = sv.stats;
+    let mut tb = GraphBuilder::new(n);
+    let mut is_tree_edge: HashMap<(VertexId, VertexId), bool> = HashMap::new();
+    for &(u, v) in &sv.tree_edges {
+        tb.add_edge(u, v);
+        is_tree_edge.insert((u, v), true);
+    }
+    let tree = tb.build();
+
+    // Stage 2: pre-order, subtree sizes, parents (rooted at 0).
+    let orders = tree_order::run(&tree, 0, config);
+    stats.merge(orders.stats.clone());
+    let (pre, nd, parent) = (orders.pre, orders.nd, orders.parent);
+
+    // Stage 3: min/max pre over self + non-tree neighbors.
+    let init: Vec<ExchangeState> = graph
+        .vertices()
+        .map(|v| ExchangeState {
+            pre: pre[v as usize],
+            parent: parent[v as usize],
+            mlow: pre[v as usize],
+            mhigh: pre[v as usize],
+        })
+        .collect();
+    let (m_values, ex_stats) = vcgp_pregel::run_with_values(&PreExchange, graph, init, config);
+    stats.merge(ex_stats);
+
+    // Stage 4: subtree aggregation of (mlow, mhigh) on the tree.
+    let mut children = vec![0u32; n];
+    for v in 1..n {
+        children[parent[v] as usize] += 1;
+    }
+    // Note: `parent` indexes tree vertices 1.. by construction only when
+    // rooted at 0 with vertex ids preserved, which stage 2 guarantees.
+    let agg_init: Vec<AggState> = graph
+        .vertices()
+        .map(|v| AggState {
+            pending: children[v as usize],
+            low: m_values[v as usize].mlow,
+            high: m_values[v as usize].mhigh,
+            parent: parent[v as usize],
+        })
+        .collect();
+    let (agg_values, agg_stats) =
+        vcgp_pregel::run_with_values(&SubtreeAgg, &tree, agg_init, config);
+    stats.merge(agg_stats);
+    let low: Vec<u32> = agg_values.iter().map(|s| s.low).collect();
+    let high: Vec<u32> = agg_values.iter().map(|s| s.high).collect();
+
+    // Stage 5: the auxiliary graph. Aux vertex w (w != root 0) stands for
+    // tree edge (parent(w), w).
+    let tree_set: std::collections::HashSet<(VertexId, VertexId)> =
+        sv.tree_edges.iter().copied().collect();
+    let related = |a: usize, b: usize| {
+        // Is a an ancestor of b?
+        pre[a] <= pre[b] && pre[b] < pre[a] + nd[a]
+    };
+    let mut aux = GraphBuilder::new(n);
+    for (u, v, _) in graph.edges() {
+        let (u, v) = (u as usize, v as usize);
+        if tree_set.contains(&(u as u32, v as u32)) {
+            continue;
+        }
+        // Rule 1: unrelated non-tree edge {u, v} joins aux vertices u, v.
+        if !related(u, v) && !related(v, u) {
+            aux.add_edge(u as u32, v as u32);
+        }
+    }
+    for w in 1..n {
+        let v = parent[w] as usize;
+        if v != 0 {
+            // Rule 2: tree edge (parent(v), v) ~ (v, w) when subtree(w)
+            // escapes v's interval.
+            if low[w] < pre[v] || high[w] >= pre[v] + nd[v] {
+                aux.add_edge(v as u32, w as u32);
+            }
+        }
+    }
+    let aux_graph = aux.dedup().build();
+    let cc = cc_hashmin::run(&aux_graph, config);
+    stats.merge(cc.stats);
+
+    // Assignment: tree edge (parent(w), w) -> component of aux vertex w;
+    // non-tree edge {u, v} -> component of its deeper endpoint.
+    let mut block_ids: HashMap<u32, u32> = HashMap::new();
+    let mut block_of_edge = Vec::with_capacity(graph.num_edges());
+    for (u, v, _) in graph.edges() {
+        let aux_vertex = if tree_set.contains(&(u, v)) {
+            // The child endpoint identifies the tree edge.
+            if parent[v as usize] == u {
+                v
+            } else {
+                u
+            }
+        } else if pre[u as usize] > pre[v as usize] {
+            u
+        } else {
+            v
+        };
+        let label = cc.components[aux_vertex as usize];
+        let next = block_ids.len() as u32;
+        let id = *block_ids.entry(label).or_insert(next);
+        block_of_edge.push(id);
+    }
+    BccResult {
+        count: block_ids.len(),
+        block_of_edge,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+    use vcgp_sequential::bcc::canonical_blocks;
+
+    fn assert_matches_sequential(g: &Graph, label: &str) {
+        let vc = run(g, &PregelConfig::single_worker());
+        let sq = vcgp_sequential::bcc::bcc(g);
+        assert_eq!(vc.count, sq.count, "{label}: block count");
+        assert_eq!(
+            canonical_blocks(&vc.block_of_edge),
+            canonical_blocks(&sq.block_of_edge),
+            "{label}: partitions differ"
+        );
+    }
+
+    #[test]
+    fn cycle_single_block() {
+        assert_matches_sequential(&generators::cycle(8), "cycle");
+    }
+
+    #[test]
+    fn path_all_bridges() {
+        assert_matches_sequential(&generators::path(10), "path");
+    }
+
+    #[test]
+    fn star_all_bridges() {
+        assert_matches_sequential(&generators::star(9), "star");
+    }
+
+    #[test]
+    fn shared_vertex_triangles() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        b.add_edge(2, 4);
+        assert_matches_sequential(&b.build(), "two triangles");
+    }
+
+    #[test]
+    fn random_connected_graphs() {
+        for seed in 0..6 {
+            let g = generators::gnm_connected(50, 90, seed);
+            assert_matches_sequential(&g, &format!("gnm seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn dense_graph_one_block() {
+        assert_matches_sequential(&generators::complete(8), "complete");
+    }
+
+    #[test]
+    fn grid_is_mostly_biconnected() {
+        assert_matches_sequential(&generators::grid(4, 5), "grid");
+    }
+
+    #[test]
+    fn tree_input_every_edge_its_own_block() {
+        let t = generators::random_tree(30, 5);
+        let vc = run(&t, &PregelConfig::single_worker());
+        assert_eq!(vc.count, 29);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = generators::gnm_connected(60, 120, 7);
+        let a = run(&g, &PregelConfig::single_worker());
+        let b = run(&g, &PregelConfig::default().with_workers(4));
+        assert_eq!(
+            canonical_blocks(&a.block_of_edge),
+            canonical_blocks(&b.block_of_edge)
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Row 8: Euler tour of a tree in two supersteps (Yan et al. \[25\], §3.4.1).
+//!
+//! Superstep 0: every vertex `v` sends `⟨u, next_v(u)⟩` to each neighbor
+//! `u`, where `next_v` cycles through `v`'s sorted adjacency list.
+//! Superstep 1: every vertex `u` stores `next_v(u)` keyed by `v`; the
+//! successor of tour arc `(u, v)` is then `(v, next_v(u))`.
+//!
+//! The only Table 1 row that is **both** work-optimal (`O(n)`
+//! time-processor product) **and** BPPA: constant supersteps, `O(d(v))`
+//! messages and storage per vertex.
+
+use std::collections::HashMap;
+use vcgp_graph::{Graph, VertexId};
+use vcgp_pregel::{Context, PregelConfig, RunStats, StateSize, VertexProgram};
+
+/// Per-vertex state: `next[v] = next_v(u)` for each neighbor `v` of `u`,
+/// i.e. the successor target of tour arc `(u, v)`.
+#[derive(Debug, Clone, Default)]
+pub struct NextMap {
+    /// Neighbor `v` → `next_v(u)`.
+    pub next: HashMap<VertexId, VertexId>,
+}
+
+impl StateSize for NextMap {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.next.len() * 8
+    }
+}
+
+struct EulerTour;
+
+impl VertexProgram for EulerTour {
+    type Value = NextMap;
+    type Message = (VertexId, VertexId);
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[(VertexId, VertexId)]) {
+        if ctx.superstep() == 0 {
+            let neighbors = ctx.out_neighbors();
+            let me = ctx.id();
+            let deg = neighbors.len();
+            for i in 0..deg {
+                let u = neighbors[i];
+                let next_u = neighbors[(i + 1) % deg];
+                ctx.send(u, (me, next_u));
+            }
+        } else {
+            for &(v, next_v_of_me) in messages {
+                ctx.value_mut().next.insert(v, next_v_of_me);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Result of the Euler tour computation.
+#[derive(Debug, Clone)]
+pub struct EulerTourResult {
+    /// Per-vertex successor maps: `next_of[u][v]` is the target of the arc
+    /// following `(u, v)` in the tour.
+    pub next_of: Vec<HashMap<VertexId, VertexId>>,
+    /// The materialized tour from `(root, first(root))`, `2(n-1)` arcs.
+    pub tour: Vec<(VertexId, VertexId)>,
+    /// Engine instrumentation.
+    pub stats: RunStats,
+}
+
+/// Runs the two-superstep Euler tour on a tree, materializing the circuit
+/// from `root`.
+pub fn run(graph: &Graph, root: VertexId, config: &PregelConfig) -> EulerTourResult {
+    assert!(
+        vcgp_graph::traversal::is_tree(graph),
+        "euler tour requires a tree"
+    );
+    assert!(graph.num_vertices() >= 2, "need at least one edge");
+    let (values, stats) = vcgp_pregel::run(&EulerTour, graph, config);
+    let next_of: Vec<HashMap<VertexId, VertexId>> = values.into_iter().map(|v| v.next).collect();
+    let n = graph.num_vertices();
+    let first = graph.out_neighbors(root)[0];
+    let mut tour = Vec::with_capacity(2 * (n - 1));
+    let (mut u, mut v) = (root, first);
+    for _ in 0..2 * (n - 1) {
+        tour.push((u, v));
+        // Successor of (u, v) is (v, next_v(u)); vertex u stored next_v(u)
+        // keyed by v during superstep 1.
+        let next = next_of[u as usize][&v];
+        u = v;
+        v = next;
+    }
+    EulerTourResult {
+        next_of,
+        tour,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    #[test]
+    fn matches_sequential_tour() {
+        for seed in 0..6 {
+            let t = generators::random_tree(40, seed);
+            let vc = run(&t, 0, &PregelConfig::single_worker());
+            let sq = vcgp_sequential::tree::euler_tour(&t, 0);
+            assert_eq!(vc.tour, sq.tour, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exactly_two_supersteps() {
+        let t = generators::random_tree(50, 1);
+        let r = run(&t, 0, &PregelConfig::single_worker());
+        assert_eq!(r.stats.supersteps(), 2);
+    }
+
+    #[test]
+    fn is_bppa_balanced() {
+        // Messages and storage per vertex bounded by degree in both
+        // supersteps — the BPPA properties the paper credits this row with.
+        let t = generators::random_tree(100, 3);
+        let cfg = PregelConfig::single_worker().with_per_vertex_tracking();
+        let r = run(&t, 0, &cfg);
+        let pv = r.stats.per_vertex.as_ref().unwrap();
+        for v in t.vertices() {
+            let d = t.bppa_degree(v) as u64;
+            assert!(pv.max_sent[v as usize] <= d);
+            assert!(pv.max_received[v as usize] <= d);
+            // HashMap entry per neighbor: O(d) bytes + struct overhead.
+            assert!(pv.max_state_bytes[v as usize] <= 8 * d + 64);
+        }
+    }
+
+    #[test]
+    fn message_total_is_2m() {
+        let t = generators::kary_tree(31, 2);
+        let r = run(&t, 0, &PregelConfig::single_worker());
+        assert_eq!(r.stats.total_messages(), 2 * 30);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let t = generators::random_tree(80, 5);
+        let a = run(&t, 0, &PregelConfig::single_worker());
+        let b = run(&t, 0, &PregelConfig::default().with_workers(4));
+        assert_eq!(a.tour, b.tour);
+    }
+
+    #[test]
+    fn tour_from_any_root() {
+        let t = generators::random_tree(30, 7);
+        for root in [0u32, 5, 29] {
+            let vc = run(&t, root, &PregelConfig::single_worker());
+            let sq = vcgp_sequential::tree::euler_tour(&t, root);
+            assert_eq!(vc.tour, sq.tour, "root {root}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The twenty vertex-centric algorithms of Khan (EDBT 2017), Table 1,
+//! implemented against the instrumented Pregel engine in `vcgp-pregel`.
+//!
+//! Each module exposes a `run` entry point returning the algorithm's result
+//! together with the [`vcgp_pregel::RunStats`] instrumentation; multi-stage
+//! pipelines (rows 5, 9, 11, 15, 20) merge the stats of their stages so the
+//! analysis layer sees the complete superstep trace.
+//!
+//! | Row | Module | Algorithm |
+//! |-----|--------|-----------|
+//! | 1   | [`diameter`] | eccentricity propagation with history sets \[15\] |
+//! | 2   | [`pagerank`] | Pregel PageRank \[12\] |
+//! | 3   | [`cc_hashmin`] | Hash-Min connected components \[12, 25\] |
+//! | 4   | [`cc_sv`] | Shiloach-Vishkin connected components \[25\] |
+//! | 5   | [`bcc`] | Tarjan-Vishkin biconnected components \[25\] |
+//! | 6   | [`wcc`] | weakly connected components (Hash-Min over both edge directions) \[25\] |
+//! | 7   | [`scc`] | forward/backward coloring SCC \[20, 25\] |
+//! | 8   | [`euler_tour`] | two-superstep Euler tour of a tree \[25\] |
+//! | 9   | [`tree_order`] | pre/post-order via Euler tour + list ranking \[25\] |
+//! | 10  | [`spanning_tree`] | S-V hooking with tree-edge recording \[22, 25\] |
+//! | 11  | [`mst_boruvka`] | Borůvka MST with conjoined trees \[4, 20\] |
+//! | 12  | [`coloring_mis`] | Luby-MIS graph coloring \[10, 20\] |
+//! | 13  | [`matching_preis`] | locally-dominant maximum weight matching \[16, 20\] |
+//! | 14  | [`bipartite_matching`] | four-phase bipartite maximal matching \[12\] |
+//! | 15  | [`betweenness`] | per-source BSP Brandes \[18\] |
+//! | 16  | [`sssp`] | Pregel single-source shortest paths \[12\] |
+//! | 17  | [`diameter`] (with distances) | all-pair shortest paths \[15\] |
+//! | 18  | [`graph_simulation`] | distributed graph simulation \[5\] |
+//! | 19  | [`dual_simulation`] | distributed dual simulation \[5\] |
+//! | 20  | [`strong_simulation`] | distributed strong simulation \[5\] |
+
+pub mod bcc;
+pub mod betweenness;
+pub mod bipartite_matching;
+pub mod cc_hashmin;
+pub mod cc_sv;
+pub mod coloring_mis;
+pub mod diameter;
+pub mod dual_simulation;
+pub mod euler_tour;
+pub mod graph_simulation;
+pub mod list_ranking;
+pub mod matching_preis;
+pub mod mst_boruvka;
+pub mod pagerank;
+pub mod scc;
+pub mod spanning_tree;
+pub mod sssp;
+pub mod st_reachability;
+pub mod strong_simulation;
+pub mod tree_order;
+pub mod triangle_counting;
+pub mod wcc;

@@ -1,0 +1,69 @@
+//! Row 10: spanning tree via S-V hooking (Tarjan & Vishkin \[22\], Yan et
+//! al. \[25\]).
+//!
+//! Each successful hook in the Shiloach-Vishkin rounds is justified by one
+//! graph edge; the set of those edges is a spanning forest. The module is a
+//! thin wrapper over [`crate::cc_sv`] that re-exports the recorded edges as
+//! the primary result — the cost profile is S-V's: `O((m + n) log n)`
+//! time-processor product, not BPPA, versus BFS's `O(m + n)`.
+
+use vcgp_graph::{Graph, VertexId};
+use vcgp_pregel::{PregelConfig, RunStats};
+
+/// Result of the vertex-centric spanning tree.
+#[derive(Debug, Clone)]
+pub struct SpanningTreeResult {
+    /// Forest edges in canonical sorted form.
+    pub tree_edges: Vec<(VertexId, VertexId)>,
+    /// Component color per vertex (smallest member id).
+    pub components: Vec<VertexId>,
+    /// Engine instrumentation.
+    pub stats: RunStats,
+}
+
+/// Runs the S-V spanning tree on an undirected graph.
+pub fn run(graph: &Graph, config: &PregelConfig) -> SpanningTreeResult {
+    let sv = crate::cc_sv::run(graph, config);
+    SpanningTreeResult {
+        tree_edges: sv.tree_edges,
+        components: sv.components,
+        stats: sv.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn spans_connected_graph() {
+        for seed in 0..5 {
+            let g = generators::gnm_connected(80, 200, seed);
+            let r = run(&g, &PregelConfig::single_worker());
+            assert_eq!(r.tree_edges.len(), 79, "seed {seed}");
+            let mut b = GraphBuilder::new(80);
+            for &(u, v) in &r.tree_edges {
+                b.add_edge(u, v);
+            }
+            assert!(vcgp_graph::traversal::is_tree(&b.build()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_edge_count_as_bfs_baseline() {
+        let g = generators::gnm(100, 160, 7);
+        let vc = run(&g, &PregelConfig::single_worker());
+        let sq = vcgp_sequential::connectivity::spanning_tree(&g);
+        assert_eq!(vc.tree_edges.len(), sq.tree_edges);
+    }
+
+    #[test]
+    fn tree_input_returns_itself() {
+        let t = generators::random_tree(50, 3);
+        let r = run(&t, &PregelConfig::single_worker());
+        let mut expected: Vec<(u32, u32)> = t.edges().map(|(u, v, _)| (u, v)).collect();
+        expected.sort_unstable();
+        assert_eq!(r.tree_edges, expected);
+    }
+}

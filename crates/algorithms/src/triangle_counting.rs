@@ -1,0 +1,204 @@
+//! §3.8 demonstrator: triangle counting and local clustering coefficients
+//! in the vertex-centric model.
+//!
+//! The paper singles out neighborhood-centric analytics ("local clustering
+//! coefficient, triangle and motifs counting") as ill-suited to the
+//! think-like-a-vertex model "due to the communication overhead, network
+//! traffic, and the large amount of memory required to construct multi-hop
+//! neighborhood in each vertex's local state" \[17\]. This implementation
+//! makes that concrete: every vertex ships its forward adjacency list to
+//! its forward neighbors — `Θ(Σ_v fwd(v)²)` message *volume* and
+//! `Θ(d(v)²)` per-vertex traffic in the worst case — where the sequential
+//! forward intersection does `O(m^{3/2})` work with `O(m)` memory.
+
+use vcgp_graph::{Graph, VertexId};
+use vcgp_pregel::{Context, PregelConfig, RunStats, StateSize, VertexProgram};
+
+/// Per-vertex state: accumulated triangle count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TriState {
+    /// Triangles incident to this vertex.
+    pub triangles: u64,
+}
+
+impl StateSize for TriState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// The sender's forward adjacency (sender, sorted forward neighbors).
+    Fwd(VertexId, Vec<VertexId>),
+    /// One triangle credit.
+    Credit,
+}
+
+struct Triangles;
+
+/// Forward order: toward higher `(degree, id)` — the same orientation the
+/// sequential baseline uses.
+fn forward(g: &Graph, v: VertexId) -> Vec<VertexId> {
+    let rank = |x: VertexId| (g.out_degree(x), x);
+    g.out_neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&u| u != v && rank(u) > rank(v))
+        .collect()
+}
+
+impl VertexProgram for Triangles {
+    type Value = TriState;
+    type Message = Msg;
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[Msg]) {
+        match ctx.superstep() {
+            0 => {
+                let me = ctx.id();
+                let fwd = forward(ctx.graph(), me);
+                ctx.charge(ctx.out_neighbors().len() as u64);
+                // Ship the whole forward list to each forward neighbor —
+                // the §3.8 neighborhood-materialization cost.
+                for &u in &fwd {
+                    ctx.charge(fwd.len() as u64);
+                    ctx.send(u, Msg::Fwd(me, fwd.clone()));
+                }
+            }
+            1 => {
+                let me = ctx.id();
+                let mine = forward(ctx.graph(), me);
+                ctx.charge(ctx.out_neighbors().len() as u64);
+                let mut found = 0u64;
+                for m in messages {
+                    if let Msg::Fwd(sender, theirs) = m {
+                        // Merge-intersect the sender's forward list with
+                        // ours: each common vertex closes a triangle
+                        // (sender, me, w).
+                        let (mut a, mut b) = (0usize, 0usize);
+                        while a < mine.len() && b < theirs.len() {
+                            ctx.charge(1);
+                            match mine[a].cmp(&theirs[b]) {
+                                std::cmp::Ordering::Less => a += 1,
+                                std::cmp::Ordering::Greater => b += 1,
+                                std::cmp::Ordering::Equal => {
+                                    found += 1;
+                                    ctx.send(*sender, Msg::Credit);
+                                    ctx.send(mine[a], Msg::Credit);
+                                    a += 1;
+                                    b += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                ctx.value_mut().triangles += found;
+            }
+            _ => {
+                let credits = messages
+                    .iter()
+                    .filter(|m| matches!(m, Msg::Credit))
+                    .count() as u64;
+                ctx.value_mut().triangles += credits;
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Result of vertex-centric triangle counting.
+#[derive(Debug, Clone)]
+pub struct TriangleResult {
+    /// Triangles incident to each vertex.
+    pub per_vertex: Vec<u64>,
+    /// Total triangles (each counted once).
+    pub total: u64,
+    /// Local clustering coefficient per vertex.
+    pub clustering: Vec<f64>,
+    /// Engine instrumentation.
+    pub stats: RunStats,
+}
+
+/// Runs vertex-centric triangle counting on an undirected simple graph.
+pub fn run(graph: &Graph, config: &PregelConfig) -> TriangleResult {
+    assert!(!graph.is_directed(), "triangle counting runs on undirected graphs");
+    let (values, stats) = vcgp_pregel::run(&Triangles, graph, config);
+    let per_vertex: Vec<u64> = values.into_iter().map(|s| s.triangles).collect();
+    let total = per_vertex.iter().sum::<u64>() / 3;
+    let clustering = per_vertex
+        .iter()
+        .enumerate()
+        .map(|(v, &t)| {
+            let d = graph.out_degree(v as VertexId) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect();
+    TriangleResult {
+        per_vertex,
+        total,
+        clustering,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    #[test]
+    fn matches_sequential_baseline() {
+        for seed in 0..5 {
+            let g = generators::gnm(50, 180, seed);
+            let vc = run(&g, &PregelConfig::single_worker());
+            let sq = vcgp_sequential::triangles::triangles(&g);
+            assert_eq!(vc.total, sq.total, "seed {seed}");
+            assert_eq!(vc.per_vertex, sq.per_vertex, "seed {seed}");
+            for (a, b) in vc.clustering.iter().zip(&sq.clustering) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let vc = run(&generators::complete(7), &PregelConfig::single_worker());
+        assert_eq!(vc.total, 35); // C(7,3)
+        assert!(vc.per_vertex.iter().all(|&t| t == 15)); // C(6,2)
+    }
+
+    #[test]
+    fn neighborhood_shipping_blows_up_per_vertex_traffic() {
+        // The §3.8 point: per-vertex message volume scales with d², far
+        // beyond the O(d) BPPA budget.
+        let g = generators::complete(24);
+        let cfg = PregelConfig::single_worker().with_per_vertex_tracking();
+        let r = run(&g, &cfg);
+        let pv = r.stats.per_vertex.as_ref().unwrap();
+        let d = 23u64;
+        let max_recv = *pv.max_received.iter().max().unwrap();
+        assert!(
+            max_recv > 2 * d,
+            "expected superlinear fan-in, got {max_recv} (d = {d})"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = generators::gnm(60, 240, 9);
+        let a = run(&g, &PregelConfig::single_worker());
+        let b = run(&g, &PregelConfig::default().with_workers(4));
+        assert_eq!(a.per_vertex, b.per_vertex);
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        let g = generators::bipartite(20, 20, 80, 3);
+        let r = run(&g, &PregelConfig::single_worker());
+        assert_eq!(r.total, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Engine microbenches: superstep overhead, message throughput, combiner
+//! effect, and worker scaling — the substrate costs underneath every
+//! Table 1 row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vcgp_graph::generators;
+use vcgp_pregel::{Context, PregelConfig, VertexProgram};
+
+/// Spins `rounds` empty supersteps: measures pure superstep overhead.
+struct Spin {
+    rounds: u64,
+}
+
+impl VertexProgram for Spin {
+    type Value = u32;
+    type Message = ();
+    fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+        if ctx.superstep() >= self.rounds {
+            ctx.vote_to_halt();
+        }
+    }
+}
+
+/// Floods one message per edge per superstep: measures message throughput.
+struct Flood {
+    rounds: u64,
+}
+
+impl VertexProgram for Flood {
+    type Value = u64;
+    type Message = u64;
+    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u64]) {
+        *ctx.value_mut() += msgs.iter().sum::<u64>();
+        if ctx.superstep() < self.rounds {
+            ctx.send_to_all_out_neighbors(1);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Same as [`Flood`] but with a sum combiner.
+struct FloodCombined {
+    rounds: u64,
+}
+
+impl VertexProgram for FloodCombined {
+    type Value = u64;
+    type Message = u64;
+    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u64]) {
+        *ctx.value_mut() += msgs.iter().sum::<u64>();
+        if ctx.superstep() < self.rounds {
+            ctx.send_to_all_out_neighbors(1);
+        }
+        ctx.vote_to_halt();
+    }
+    fn combiner(&self) -> Option<fn(&mut u64, u64)> {
+        Some(|acc, m| *acc += m)
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let g = generators::gnm_connected(10_000, 40_000, 7);
+    group.bench_function("superstep_overhead_10k_vertices_20_steps", |b| {
+        b.iter(|| vcgp_pregel::run(&Spin { rounds: 20 }, &g, &PregelConfig::single_worker()));
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("flood_40k_edges_5_rounds_workers", workers),
+            &workers,
+            |b, &w| {
+                let cfg = PregelConfig::default().with_workers(w);
+                b.iter(|| vcgp_pregel::run(&Flood { rounds: 5 }, &g, &cfg));
+            },
+        );
+    }
+    group.bench_function("flood_combined_40k_edges_5_rounds", |b| {
+        let cfg = PregelConfig::default().with_workers(2);
+        b.iter(|| vcgp_pregel::run(&FloodCombined { rounds: 5 }, &g, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine);
+criterion_main!(engine);

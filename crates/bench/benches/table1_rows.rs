@@ -1,0 +1,69 @@
+//! Criterion wall-time benches, one group per Table 1 row: the
+//! vertex-centric implementation versus its sequential baseline on the
+//! row's input family at quick sizes.
+//!
+//! These complement the deterministic operation-count benchmark (`table1`
+//! binary): the operation counts drive the paper's verdicts; the wall
+//! times sanity-check that the measured work models real cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vcgp_core::{Scale, Workload};
+use vcgp_pregel::PregelConfig;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let config = PregelConfig::default().with_workers(2);
+    for w in Workload::ALL {
+        let mut group = c.benchmark_group(format!("row{:02}_{}", w.row(), slug(w)));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for size in w.sizes(Scale::Quick) {
+            group.bench_with_input(BenchmarkId::new("measure", size), &size, |b, &s| {
+                b.iter(|| w.measure(s, &config));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn slug(w: Workload) -> &'static str {
+    match w {
+        Workload::Diameter => "diameter",
+        Workload::PageRank => "pagerank",
+        Workload::CcHashMin => "cc_hashmin",
+        Workload::CcSv => "cc_sv",
+        Workload::Bcc => "bcc",
+        Workload::Wcc => "wcc",
+        Workload::Scc => "scc",
+        Workload::EulerTour => "euler_tour",
+        Workload::TreeOrder => "tree_order",
+        Workload::SpanningTree => "spanning_tree",
+        Workload::Mst => "mst",
+        Workload::Coloring => "coloring",
+        Workload::Matching => "matching",
+        Workload::BipartiteMatching => "bipartite",
+        Workload::Betweenness => "betweenness",
+        Workload::Sssp => "sssp",
+        Workload::Apsp => "apsp",
+        Workload::GraphSim => "graph_sim",
+        Workload::DualSim => "dual_sim",
+        Workload::StrongSim => "strong_sim",
+    }
+}
+
+criterion_group! {
+    name = rows;
+    config = {
+        let mut c = Criterion::default();
+        configure(&mut c);
+        c
+    };
+    targets = bench_rows
+}
+criterion_main!(rows);

@@ -1,0 +1,260 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **BSP parameter sensitivity** — the paper assumes `g = O(1)` and
+//!    notes "for higher values of g, the time-processor product would be
+//!    even higher"; we sweep `g` and `L` and check the Table 1 verdicts'
+//!    stability.
+//! 2. **Combiner effect** — delivered-message reduction and wall time for
+//!    the combiner-friendly rows.
+//! 3. **Worker scaling** — wall time of a message-heavy row across worker
+//!    counts.
+//!
+//! Usage: `ablations`
+
+use std::time::Instant;
+use vcgp_core::{BspCostModel, Scale, Workload};
+use vcgp_graph::generators;
+use vcgp_pregel::PregelConfig;
+
+fn main() {
+    cost_model_sensitivity();
+    combiner_effect();
+    worker_scaling();
+    gas_vs_bsp();
+    partitioning_balance();
+    finish_serially();
+}
+
+/// The "finishing computations serially" optimization \[20\]: hand the long
+/// low-activity superstep tail to the coordinator.
+fn finish_serially() {
+    println!("\n== Ablation 6: finishing computations serially (Hash-Min) ==\n");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
+        "n", "plain steps", "fcs steps", "plain TPP", "fcs TPP"
+    );
+    let model = BspCostModel::default();
+    let cfg = PregelConfig::default().with_workers(4);
+    for n in [2_000usize, 8_000, 32_000] {
+        // Permuted-id path: a one-vertex frontier for most of the run.
+        let mut positions: Vec<u32> = (0..n as u32).collect();
+        vcgp_graph::SplitMix64::new(17).shuffle(&mut positions);
+        let mut b = vcgp_graph::GraphBuilder::new(n);
+        for w in positions.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build();
+        let plain = vcgp_algorithms::cc_hashmin::run(&g, &cfg);
+        let fcs = vcgp_algorithms::cc_hashmin::run_with_fcs(&g, 64, &cfg);
+        assert_eq!(plain.components, fcs.components);
+        println!(
+            "{n:>8} | {:>12} | {:>12} | {:>12.3e} | {:>12.3e}",
+            plain.stats.supersteps(),
+            fcs.stats.supersteps(),
+            model.time_processor_product(&plain.stats),
+            model.time_processor_product(&fcs.stats),
+        );
+    }
+    println!(
+        "\nonce the frontier narrows, every further superstep pays the L\n\
+         floor and the engine sweep for a handful of active vertices —\n\
+         cutting over to a serial finish removes the entire tail [20]."
+    );
+}
+
+/// Hash vs. range partitioning on a skewed graph: the strategy moves the
+/// BSP `max_i` terms directly.
+fn partitioning_balance() {
+    use vcgp_pregel::Partitioning;
+    println!("\n== Ablation 5: partitioning and load balance (PageRank on R-MAT) ==\n");
+    println!(
+        "{:>8} | {:>6} | {:>12} | {:>12} | imbalance (max/avg h)",
+        "n", "part", "T (model)", "TPP"
+    );
+    let model = BspCostModel::default();
+    for scale in [12u32, 14] {
+        let n = 1usize << scale;
+        let und = generators::rmat(scale, 8 * n, 13);
+        // Relabel by descending degree (the usual CSR reordering): hubs
+        // get consecutive low ids, so the strategies genuinely differ.
+        // (Raw R-MAT skew lives in the id *bit pattern* — `v mod W` is
+        // exactly as imbalanced as ranges there.)
+        let mut order: Vec<u32> = und.vertices().collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(und.out_degree(v)));
+        let mut new_id = vec![0u32; und.num_vertices()];
+        for (rank, &v) in order.iter().enumerate() {
+            new_id[v as usize] = rank as u32;
+        }
+        let mut b = vcgp_graph::GraphBuilder::directed(und.num_vertices());
+        for (u, v, _) in und.edges() {
+            let (u, v) = (new_id[u as usize], new_id[v as usize]);
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        let g = b.build();
+        for (name, strategy) in [("hash", Partitioning::Hash), ("range", Partitioning::Range)] {
+            let cfg = PregelConfig::default()
+                .with_workers(4)
+                .with_partitioning(strategy);
+            let r = vcgp_algorithms::pagerank::run(&g, 0.85, 20, &cfg);
+            // Imbalance: the max worker h over the average, averaged over
+            // message-bearing supersteps.
+            let mut imbalance = 0.0;
+            let mut counted = 0usize;
+            for s in &r.stats.superstep_stats {
+                let hs: Vec<u64> = s.workers.iter().map(|w| w.sent.max(w.received)).collect();
+                let max = *hs.iter().max().unwrap_or(&0);
+                let avg = hs.iter().sum::<u64>() as f64 / hs.len().max(1) as f64;
+                if avg > 0.0 {
+                    imbalance += max as f64 / avg;
+                    counted += 1;
+                }
+            }
+            println!(
+                "{:>8} | {:>6} | {:>12.3e} | {:>12.3e} | {:.3}",
+                g.num_vertices(),
+                name,
+                model.total_time(&r.stats),
+                model.time_processor_product(&r.stats),
+                imbalance / counted.max(1) as f64
+            );
+        }
+    }
+    println!(
+        "\nR-MAT hubs cluster at low ids: range partitioning piles them onto\n\
+         worker 0 and the max-based BSP terms absorb the imbalance; hash\n\
+         partitioning spreads them. The paper's 'imbalanced workload'\n\
+         efficiency issue (§1), reproduced at the cost-model level."
+    );
+}
+
+/// Re-derives the more-work ratio under different (g, L) — the verdicts
+/// must not hinge on the default parameters.
+fn cost_model_sensitivity() {
+    println!("== Ablation 1: BSP parameter sensitivity (rows 3 and 8) ==\n");
+    let cfg = PregelConfig::default().with_workers(4);
+    println!(
+        "{:<10} | {:>6} | {:>6} | {:>14} | {:>14} | ratio growth",
+        "row", "g", "L", "ratio(small)", "ratio(large)"
+    );
+    for workload in [Workload::CcHashMin, Workload::EulerTour] {
+        let sizes = workload.sizes(Scale::Full);
+        let small = workload.measure(sizes[0], &cfg);
+        let large = workload.measure(*sizes.last().unwrap(), &cfg);
+        for (g, l) in [(1.0, 1.0), (4.0, 1.0), (16.0, 1.0), (1.0, 100.0)] {
+            let model = BspCostModel::new(g, l);
+            let r_small = small.tpp_under(&model) / small.seq_work.max(1.0);
+            let r_large = large.tpp_under(&model) / large.seq_work.max(1.0);
+            println!(
+                "{:<10} | {:>6.0} | {:>6.0} | {:>14.2} | {:>14.2} | {:.2}x",
+                format!("row {}", workload.row()),
+                g,
+                l,
+                r_small,
+                r_large,
+                r_large / r_small
+            );
+        }
+    }
+    println!(
+        "\nratio *growth* (the verdict signal) is invariant to g and L —\n\
+         scaling the model parameters rescales both ends of the sweep.\n"
+    );
+}
+
+/// Measures how much sender-side combining shrinks delivered messages.
+fn combiner_effect() {
+    println!("== Ablation 2: combiner effect (Hash-Min on dense G(n, m)) ==\n");
+    println!(
+        "{:>8} | {:>12} | {:>12} | reduction",
+        "n", "sent", "delivered"
+    );
+    let cfg = PregelConfig::default().with_workers(4);
+    for n in [1_000usize, 4_000, 16_000] {
+        let g = generators::gnm_connected(n, 8 * n, 5);
+        let r = vcgp_algorithms::cc_hashmin::run(&g, &cfg);
+        let sent = r.stats.total_messages();
+        let delivered: u64 = r
+            .stats
+            .superstep_stats
+            .iter()
+            .map(|s| s.messages_delivered)
+            .sum();
+        println!(
+            "{n:>8} | {sent:>12} | {delivered:>12} | {:.1}x",
+            sent as f64 / delivered.max(1) as f64
+        );
+    }
+    println!("\nthe min-combiner collapses all per-vertex traffic to one slot.\n");
+}
+
+/// Wall-time scaling of the engine across worker counts.
+fn worker_scaling() {
+    println!("== Ablation 3: worker scaling (PageRank, 30 rounds) ==\n");
+    let g = generators::rmat(14, 131_072, 9);
+    println!(
+        "graph: n = {}, m = {}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!("{:>8} | {:>10} | speedup", "workers", "wall (ms)");
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = PregelConfig::default().with_workers(workers);
+        let t0 = Instant::now();
+        let _ = vcgp_algorithms::pagerank::run(&g, 0.85, 30, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let speedup = base.get_or_insert(ms).max(1e-9) / ms * 1.0;
+        println!("{workers:>8} | {ms:>10.1} | {speedup:.2}x");
+    }
+    println!(
+        "\nspeedup saturates well below linear — single-machine BSP overhead\n\
+         echoes the McSherry et al. 'scalability at what COST' observation\n\
+         the paper cites [14].\n"
+    );
+}
+
+/// Synchronous Pregel PageRank vs. residual-push GAS PageRank: the
+/// adaptive-activation benefit of the post-Pregel models the paper's
+/// introduction surveys (GraphLab / PowerGraph).
+fn gas_vs_bsp() {
+    println!("== Ablation 4: synchronous Pregel vs. adaptive GAS (PageRank) ==\n");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
+        "n", "bsp (K=30)", "gas @1e-3", "gas @1e-5", "gas @1e-7"
+    );
+    let cfg = PregelConfig::default().with_workers(4);
+    for scale in [10u32, 12, 14] {
+        let n = 1usize << scale;
+        let g = {
+            // Directed symmetric R-MAT for realistic skew.
+            let und = generators::rmat(scale, 8 * n, 11);
+            let mut b = vcgp_graph::GraphBuilder::directed(und.num_vertices());
+            for (u, v, _) in und.edges() {
+                b.add_edge(u, v);
+                b.add_edge(v, u);
+            }
+            b.build()
+        };
+        let bsp = vcgp_algorithms::pagerank::run(&g, 0.85, 30, &cfg);
+        let gas_at = |tol: f64| {
+            let (_, stats) = vcgp_pregel::gas::run_pagerank_gas(&g, 0.85, tol, &cfg);
+            stats.total_messages()
+        };
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
+            g.num_vertices(),
+            bsp.stats.total_messages(),
+            gas_at(1e-3),
+            gas_at(1e-5),
+            gas_at(1e-7),
+        );
+    }
+    println!(
+        "\nsynchronous BSP spends K·m messages for a fixed K regardless of\n\
+         convergence; residual-push GAS spends messages proportional to the\n\
+         accuracy it buys — matching BSP-30's budget at the loose tolerance\n\
+         and scaling smoothly as the tolerance tightens, with converged\n\
+         vertices dropping out instead of re-broadcasting every round."
+    );
+}

@@ -1,0 +1,46 @@
+//! Scaling sweeps for the quantities each Table 1 row's analysis hinges
+//! on: superstep counts, message totals, and the TPP/sequential ratio.
+//!
+//! Complements `table1` (which prints the verdict table) with the raw
+//! series one would plot. Usage: `sweeps [--quick] [--workers N]`.
+
+use vcgp_bench::Stopwatch;
+use vcgp_core::{Scale, Workload};
+use vcgp_pregel::PregelConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--workers takes a number"))
+        .unwrap_or(4);
+    let config = PregelConfig::default().with_workers(workers);
+
+    println!("workload,size,n,m,supersteps,messages,tpp,seq_work,ratio");
+    for w in Workload::ALL {
+        let watch = Stopwatch::start();
+        for size in w.sizes(scale) {
+            let m = w.measure(size, &config);
+            println!(
+                "{},{},{},{},{},{},{:.1},{:.1},{:.4}",
+                w.name().replace(',', ";"),
+                size,
+                m.params.n,
+                m.params.m,
+                m.supersteps,
+                m.messages,
+                m.tpp,
+                m.seq_work,
+                m.tpp / m.seq_work.max(1.0)
+            );
+        }
+        eprintln!("row {:>2} {:<44} {:>6.1}s", w.row(), w.name(), watch.secs());
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's Table 1: for every workload row, sweep the
+//! deterministic input family, measure the vertex-centric time-processor
+//! product and the sequential operation count, fit complexity classes, and
+//! print the verdict table plus per-row detail and a CSV dump.
+//!
+//! Usage: `table1 [--quick] [--workers N] [--row K]`
+
+use vcgp_bench::Stopwatch;
+use vcgp_core::{benchmark, report, Scale, Workload};
+use vcgp_pregel::PregelConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let workers = arg_value(&args, "--workers")
+        .map(|v| v.parse().expect("--workers takes a number"))
+        .unwrap_or(4);
+    let only_row: Option<u8> = arg_value(&args, "--row").map(|v| v.parse().expect("--row takes 1-20"));
+    let config = PregelConfig::default().with_workers(workers);
+
+    println!(
+        "# Table 1 — vertex-centric vs. sequential ({} scale, p = {workers}, g = 1, L = 1)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        if let Some(r) = only_row {
+            if w.row() != r {
+                continue;
+            }
+        }
+        let watch = Stopwatch::start();
+        let row = benchmark::run_row(w, scale, &config);
+        eprintln!(
+            "row {:>2} {:<44} {:>6.1}s  more-work {} (paper {})  bppa {} (paper {}){}",
+            w.row(),
+            w.name(),
+            watch.secs(),
+            if row.more_work.yes { "Yes" } else { "No " },
+            if w.expected_more_work() { "Yes" } else { "No " },
+            if row.bppa.is_bppa() { "Yes" } else { "No " },
+            if w.expected_bppa() { "Yes" } else { "No " },
+            if row.matches_paper() { "" } else { "   << MISMATCH" },
+        );
+        rows.push(row);
+    }
+
+    println!("{}", report::render_table1(&rows));
+    println!("\n## Per-row detail\n");
+    for r in &rows {
+        println!("{}", report::render_row_detail(r));
+    }
+    println!("\n## CSV\n\n```\n{}```", report::render_csv(&rows));
+
+    let matching = rows.iter().filter(|r| r.matches_paper()).count();
+    println!(
+        "\n**{matching}/{} rows reproduce the paper's verdicts.**",
+        rows.len()
+    );
+}
+
+fn arg_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

@@ -1,0 +1,36 @@
+//! Benchmark harness support for the `vcgp` workspace.
+//!
+//! The binaries regenerate the paper's artifacts:
+//!
+//! * `table1` — the complexity benchmark (Table 1), printed as markdown
+//!   with per-row measurement detail and a CSV dump;
+//! * `figures` — executable reproductions of the paper's Figures 1-5
+//!   (algorithm illustrations);
+//! * `sweeps` — per-row scaling sweeps (supersteps, messages, TPP ratio)
+//!   for the quantities each row's analysis hinges on.
+//!
+//! The criterion benches (`benches/`) time the vertex-centric runs against
+//! their sequential baselines at Quick scale.
+
+use std::time::Instant;
+
+/// Wall-clock helper for harness progress lines.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}

@@ -1,0 +1,190 @@
+//! Empirical checking of the four BPPA properties (§2.2).
+//!
+//! A Pregel algorithm is a *balanced practical Pregel algorithm* when
+//! (P1) each vertex stores `O(d(v))`, (P2) each `compute` costs `O(d(v))`,
+//! (P3) each vertex sends/receives `O(d(v))` messages per superstep, and
+//! (P4) the run takes `O(log n)` supersteps.
+//!
+//! The checker consumes, for every size in a sweep, the per-vertex maxima
+//! recorded by the engine normalized by `d(v) + 1`, and the superstep count
+//! normalized by `log₂ n`. A property holds when its normalized series
+//! stays bounded as `n` grows (growth below [`GROWTH_LIMIT`] while the
+//! sweep spans at least one order of magnitude); it is violated when the
+//! normalized quantity keeps growing.
+
+/// Normalized growth above this factor (largest size vs. smallest) marks a
+/// property as violated. Sweeps span ≥8× in `n`, so genuinely bounded
+/// ratios stay well below it while any polynomial growth sails past.
+pub const GROWTH_LIMIT: f64 = 2.5;
+
+/// One sweep point's normalized BPPA observables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BppaSample {
+    /// Number of vertices (the sweep axis).
+    pub n: f64,
+    /// `max_v state_bytes(v) / (d(v) + 1)`.
+    pub storage: f64,
+    /// `max_v work(v) / (d(v) + 1)` (max over supersteps).
+    pub compute: f64,
+    /// `max_v max(sent(v), received(v)) / (d(v) + 1)` (max over supersteps).
+    pub messages: f64,
+    /// `supersteps / log₂ n`.
+    pub supersteps: f64,
+}
+
+/// Verdict for one property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropertyVerdict {
+    /// Whether the property holds (normalized series bounded).
+    pub satisfied: bool,
+    /// Normalized value at the smallest size.
+    pub first: f64,
+    /// Normalized value at the largest size.
+    pub last: f64,
+}
+
+impl PropertyVerdict {
+    fn from_series(series: &[f64]) -> Self {
+        let first = series.first().copied().unwrap_or(0.0).max(1e-9);
+        let last = series.last().copied().unwrap_or(0.0).max(1e-9);
+        PropertyVerdict {
+            satisfied: last / first <= GROWTH_LIMIT,
+            first,
+            last,
+        }
+    }
+}
+
+/// The full BPPA report for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BppaReport {
+    /// P1: per-vertex storage is `O(d(v))`.
+    pub storage: PropertyVerdict,
+    /// P2: per-superstep compute is `O(d(v))`.
+    pub compute: PropertyVerdict,
+    /// P3: per-superstep messages are `O(d(v))`.
+    pub messages: PropertyVerdict,
+    /// P4: `O(log n)` supersteps.
+    pub supersteps: PropertyVerdict,
+}
+
+impl BppaReport {
+    /// Whether all four properties hold.
+    pub fn is_bppa(&self) -> bool {
+        self.storage.satisfied
+            && self.compute.satisfied
+            && self.messages.satisfied
+            && self.supersteps.satisfied
+    }
+
+    /// Short evidence string, e.g. `"P1✗ P4✗"` listing violated properties
+    /// (or `"P1-P4✓"` when all hold).
+    pub fn summary(&self) -> String {
+        if self.is_bppa() {
+            return "P1-P4 ok".to_string();
+        }
+        let mut out = String::new();
+        for (name, v) in [
+            ("P1", self.storage),
+            ("P2", self.compute),
+            ("P3", self.messages),
+            ("P4", self.supersteps),
+        ] {
+            if !v.satisfied {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(name);
+                out.push('*');
+            }
+        }
+        out
+    }
+}
+
+/// Checks the four properties over a sweep (samples ordered by `n`).
+///
+/// # Panics
+/// Panics on fewer than two samples (growth needs a sweep).
+pub fn check(samples: &[BppaSample]) -> BppaReport {
+    assert!(samples.len() >= 2, "BPPA check needs a size sweep");
+    debug_assert!(
+        samples.windows(2).all(|w| w[0].n <= w[1].n),
+        "samples must be ordered by n"
+    );
+    let collect = |f: fn(&BppaSample) -> f64| -> Vec<f64> { samples.iter().map(f).collect() };
+    BppaReport {
+        storage: PropertyVerdict::from_series(&collect(|s| s.storage)),
+        compute: PropertyVerdict::from_series(&collect(|s| s.compute)),
+        messages: PropertyVerdict::from_series(&collect(|s| s.messages)),
+        supersteps: PropertyVerdict::from_series(&collect(|s| s.supersteps)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: f64, storage: f64, compute: f64, messages: f64, supersteps: f64) -> BppaSample {
+        BppaSample {
+            n,
+            storage,
+            compute,
+            messages,
+            supersteps,
+        }
+    }
+
+    #[test]
+    fn bounded_series_satisfies() {
+        let samples = vec![
+            sample(256.0, 40.0, 3.0, 1.0, 1.5),
+            sample(1024.0, 42.0, 3.1, 1.0, 1.4),
+            sample(4096.0, 45.0, 2.9, 1.0, 1.6),
+        ];
+        let report = check(&samples);
+        assert!(report.is_bppa());
+        assert_eq!(report.summary(), "P1-P4 ok");
+    }
+
+    #[test]
+    fn growing_storage_violates_p1() {
+        let samples = vec![
+            sample(256.0, 256.0, 1.0, 1.0, 1.0),
+            sample(1024.0, 1024.0, 1.0, 1.0, 1.0),
+            sample(4096.0, 4096.0, 1.0, 1.0, 1.0),
+        ];
+        let report = check(&samples);
+        assert!(!report.storage.satisfied);
+        assert!(report.compute.satisfied);
+        assert!(!report.is_bppa());
+        assert_eq!(report.summary(), "P1*");
+    }
+
+    #[test]
+    fn linear_supersteps_violate_p4() {
+        // supersteps = n ⇒ normalized n / log n grows.
+        let samples = vec![
+            sample(256.0, 1.0, 1.0, 1.0, 256.0 / 8.0),
+            sample(4096.0, 1.0, 1.0, 1.0, 4096.0 / 12.0),
+        ];
+        let report = check(&samples);
+        assert!(!report.supersteps.satisfied);
+        assert_eq!(report.summary(), "P4*");
+    }
+
+    #[test]
+    fn multiple_violations_listed() {
+        let samples = vec![
+            sample(100.0, 1.0, 1.0, 10.0, 10.0),
+            sample(1000.0, 1.0, 1.0, 100.0, 100.0),
+        ];
+        assert_eq!(check(&samples).summary(), "P3* P4*");
+    }
+
+    #[test]
+    #[should_panic(expected = "size sweep")]
+    fn single_sample_rejected() {
+        check(&[sample(10.0, 1.0, 1.0, 1.0, 1.0)]);
+    }
+}

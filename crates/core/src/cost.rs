@@ -1,0 +1,123 @@
+//! Valiant's BSP cost model (§2.1 of the paper).
+//!
+//! With per-superstep observables `w_i` (local work), `s_i`/`r_i`
+//! (messages sent/received by worker `i`), the model charges
+//! `max(w, g·h, L)` per superstep, where `w = max_i w_i`,
+//! `h = max_i max(s_i, r_i)`, `g` is the network permeability, and `L` the
+//! synchronization periodicity. The total over supersteps is the running
+//! time `T(n)`; the **time-processor product** is `p · T(n)`, the quantity
+//! Table 1 compares against the best sequential algorithm's work.
+
+use vcgp_pregel::{RunStats, SuperstepStats};
+
+/// The BSP cost model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BspCostModel {
+    /// Bandwidth parameter `g`: time per unit of `h`-relation. The paper
+    /// analyzes `g = O(1)` ("for higher values of g, the time-processor
+    /// product would be even higher").
+    pub g: f64,
+    /// Synchronization periodicity `L`: the floor cost of a superstep.
+    pub l: f64,
+}
+
+impl Default for BspCostModel {
+    fn default() -> Self {
+        BspCostModel { g: 1.0, l: 1.0 }
+    }
+}
+
+impl BspCostModel {
+    /// A model with explicit parameters.
+    pub fn new(g: f64, l: f64) -> Self {
+        assert!(g > 0.0 && l >= 0.0, "g must be positive, L non-negative");
+        BspCostModel { g, l }
+    }
+
+    /// The charged time of one superstep: `max(w, g·h, L)`.
+    pub fn superstep_time(&self, s: &SuperstepStats) -> f64 {
+        let w = s.max_work() as f64;
+        let h = s.max_h() as f64;
+        w.max(self.g * h).max(self.l)
+    }
+
+    /// `T(n)`: the sum of superstep times over the run.
+    pub fn total_time(&self, stats: &RunStats) -> f64 {
+        stats
+            .superstep_stats
+            .iter()
+            .map(|s| self.superstep_time(s))
+            .sum()
+    }
+
+    /// The time-processor product `p · T(n)`.
+    pub fn time_processor_product(&self, stats: &RunStats) -> f64 {
+        stats.num_workers as f64 * self.total_time(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use vcgp_pregel::{HaltReason, WorkerStats};
+
+    fn superstep(workers: Vec<(u64, u64, u64)>) -> SuperstepStats {
+        SuperstepStats {
+            workers: workers
+                .into_iter()
+                .map(|(work, sent, received)| WorkerStats {
+                    work,
+                    sent,
+                    received,
+                    wall: Duration::ZERO,
+                })
+                .collect(),
+            active: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+        }
+    }
+
+    #[test]
+    fn superstep_time_takes_max_of_terms() {
+        let model = BspCostModel::default();
+        // Compute-bound: w = 100 dominates h = 10.
+        assert_eq!(model.superstep_time(&superstep(vec![(100, 10, 5)])), 100.0);
+        // Communication-bound.
+        assert_eq!(model.superstep_time(&superstep(vec![(3, 50, 80)])), 80.0);
+        // Latency floor.
+        let lofty = BspCostModel::new(1.0, 42.0);
+        assert_eq!(lofty.superstep_time(&superstep(vec![(1, 1, 1)])), 42.0);
+    }
+
+    #[test]
+    fn g_scales_communication() {
+        let model = BspCostModel::new(4.0, 1.0);
+        assert_eq!(model.superstep_time(&superstep(vec![(10, 9, 2)])), 36.0);
+    }
+
+    #[test]
+    fn h_is_max_over_workers_of_max_sent_recv() {
+        let model = BspCostModel::default();
+        let s = superstep(vec![(1, 7, 2), (1, 3, 9)]);
+        assert_eq!(model.superstep_time(&s), 9.0);
+    }
+
+    #[test]
+    fn tpp_multiplies_by_processors() {
+        let mut stats = RunStats::empty(4);
+        stats.superstep_stats.push(superstep(vec![(10, 0, 0)]));
+        stats.superstep_stats.push(superstep(vec![(20, 0, 0)]));
+        stats.halt_reason = HaltReason::Converged;
+        let model = BspCostModel::default();
+        assert_eq!(model.total_time(&stats), 30.0);
+        assert_eq!(model.time_processor_product(&stats), 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "g must be positive")]
+    fn invalid_model_rejected() {
+        BspCostModel::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::graph::{Graph, VertexId};
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// The builder accumulates `(u, v, w)` triples, then sorts them into CSR form
+/// at [`GraphBuilder::build`]. Undirected edges are mirrored automatically.
+///
+/// ```
+/// use vcgp_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    directed: bool,
+    dedup: bool,
+    edges: Vec<(VertexId, VertexId, f64)>,
+    labels: Option<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// Starts an undirected graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self::with_directedness(n, false)
+    }
+
+    /// Starts a directed graph on `n` vertices.
+    pub fn directed(n: usize) -> Self {
+        Self::with_directedness(n, true)
+    }
+
+    fn with_directedness(n: usize, directed: bool) -> Self {
+        assert!(
+            n < u32::MAX as usize,
+            "graphs are limited to u32::MAX - 1 vertices"
+        );
+        GraphBuilder {
+            n,
+            directed,
+            dedup: false,
+            edges: Vec::new(),
+            labels: None,
+        }
+    }
+
+    /// Requests duplicate-edge removal at build time. For weighted graphs the
+    /// minimum weight among duplicates is kept (matching the edge-cleaning
+    /// rule of the Borůvka workload).
+    pub fn dedup(&mut self) -> &mut Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Adds an unweighted edge (weight `1.0`).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.add_weighted_edge(u, v, 1.0)
+    }
+
+    /// Adds a weighted edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, w: f64) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Sets vertex labels (used by the pattern-simulation workloads).
+    ///
+    /// # Panics
+    /// Panics at `build` time if the label count differs from `n`.
+    pub fn set_labels(&mut self, labels: Vec<u32>) -> &mut Self {
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    pub fn build(&mut self) -> Graph {
+        if let Some(labels) = &self.labels {
+            assert_eq!(labels.len(), self.n, "label count must equal n");
+        }
+        let mut arcs: Vec<(VertexId, VertexId, f64)> =
+            Vec::with_capacity(self.edges.len() * if self.directed { 1 } else { 2 });
+        if self.dedup {
+            // Canonicalize, sort, and keep the lightest copy of each edge.
+            let mut canonical: Vec<(VertexId, VertexId, f64)> = self
+                .edges
+                .iter()
+                .map(|&(u, v, w)| {
+                    if !self.directed && u > v {
+                        (v, u, w)
+                    } else {
+                        (u, v, w)
+                    }
+                })
+                .collect();
+            canonical.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+            canonical.dedup_by_key(|e| (e.0, e.1));
+            self.edges = canonical;
+        }
+        let num_edges = self.edges.len();
+        for &(u, v, w) in &self.edges {
+            arcs.push((u, v, w));
+            if !self.directed && u != v {
+                arcs.push((v, u, w));
+            }
+        }
+        let weighted = arcs.iter().any(|&(_, _, w)| w != 1.0);
+        let (offsets, targets, weights) = csr_from_arcs(self.n, &arcs);
+        let (rev_offsets, rev_targets, rev_weights) = if self.directed {
+            let reversed: Vec<(VertexId, VertexId, f64)> =
+                arcs.iter().map(|&(u, v, w)| (v, u, w)).collect();
+            csr_from_arcs(self.n, &reversed)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        Graph {
+            directed: self.directed,
+            weighted,
+            num_edges,
+            offsets,
+            targets,
+            weights,
+            rev_offsets,
+            rev_targets,
+            rev_weights,
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+/// Counting-sorts arcs into CSR arrays with per-vertex target ordering.
+fn csr_from_arcs(
+    n: usize,
+    arcs: &[(VertexId, VertexId, f64)],
+) -> (Vec<usize>, Vec<VertexId>, Vec<f64>) {
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _, _) in arcs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut targets = vec![0 as VertexId; arcs.len()];
+    let mut weights = vec![0.0f64; arcs.len()];
+    let mut cursor = offsets.clone();
+    for &(u, v, w) in arcs {
+        let slot = cursor[u as usize];
+        targets[slot] = v;
+        weights[slot] = w;
+        cursor[u as usize] += 1;
+    }
+    // Sort each adjacency run by target id, keeping weights parallel.
+    for v in 0..n {
+        let (a, b) = (offsets[v], offsets[v + 1]);
+        if b - a > 1 {
+            let mut idx: Vec<usize> = (a..b).collect();
+            idx.sort_by_key(|&i| targets[i]);
+            let sorted_t: Vec<VertexId> = idx.iter().map(|&i| targets[i]).collect();
+            let sorted_w: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+            targets[a..b].copy_from_slice(&sorted_t);
+            weights[a..b].copy_from_slice(&sorted_w);
+        }
+    }
+    (offsets, targets, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_lightest() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 5.0);
+        b.add_weighted_edge(1, 0, 2.0);
+        b.add_weighted_edge(0, 1, 9.0);
+        let g = b.dedup().build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn directed_dedup_preserves_antiparallel() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.dedup().build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn self_loop_undirected_stored_once() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn wrong_label_count_panics() {
+        let mut b = GraphBuilder::new(3);
+        b.set_labels(vec![1, 2]);
+        b.build();
+    }
+
+    #[test]
+    fn parallel_edges_kept_without_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn builder_edge_count() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.edge_count(), 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        assert_eq!(b.edge_count(), 2);
+    }
+}

@@ -1,0 +1,397 @@
+//! The compressed-sparse-row graph shared by every crate in the workspace.
+
+use std::fmt;
+
+/// Vertex identifier. Graphs are limited to `u32::MAX - 1` vertices, which
+/// keeps adjacency arrays compact (see the type-size guidance in the Rust
+/// performance book: indices rarely need to be `usize`).
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex" (used by traversals and parent arrays).
+pub const INVALID_VERTEX: VertexId = u32::MAX;
+
+/// An immutable graph in compressed-sparse-row form.
+///
+/// * Undirected graphs store each edge `{u, v}` in both adjacency lists;
+///   [`Graph::num_edges`] still reports the *logical* edge count `m`.
+/// * Directed graphs additionally carry a reverse (in-neighbor) CSR so that
+///   algorithms needing parents (weakly connected components, simulation)
+///   do not have to rebuild it.
+/// * Adjacency lists are sorted by target id — the paper's Euler-tour
+///   algorithm (§3.4.1) explicitly assumes sorted adjacency, and sortedness
+///   makes neighbor lookups binary-searchable.
+/// * Edge weights are carried inline (all `1.0` for unweighted graphs);
+///   vertex labels are optional and used by the pattern-simulation rows.
+#[derive(Clone, PartialEq)]
+pub struct Graph {
+    pub(crate) directed: bool,
+    pub(crate) weighted: bool,
+    pub(crate) num_edges: usize,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) targets: Vec<VertexId>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) rev_offsets: Vec<usize>,
+    pub(crate) rev_targets: Vec<VertexId>,
+    pub(crate) rev_weights: Vec<f64>,
+    pub(crate) labels: Option<Vec<u32>>,
+}
+
+impl Graph {
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges `m` (an undirected edge counts once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of directed arcs stored in the forward CSR
+    /// (`2m` for undirected graphs, `m` for digraphs).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether any edge carries a weight other than `1.0`.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Whether vertices carry labels.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Out-neighbors of `v`, sorted by id.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (a, b) = self.out_range(v);
+        &self.targets[a..b]
+    }
+
+    /// Weights parallel to [`Graph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> &[f64] {
+        let (a, b) = self.out_range(v);
+        &self.weights[a..b]
+    }
+
+    /// `(neighbor, weight)` pairs for the out-edges of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let (a, b) = self.out_range(v);
+        self.targets[a..b]
+            .iter()
+            .copied()
+            .zip(self.weights[a..b].iter().copied())
+    }
+
+    /// In-neighbors of `v` (equal to out-neighbors for undirected graphs).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        if self.directed {
+            let (a, b) = self.in_range(v);
+            &self.rev_targets[a..b]
+        } else {
+            self.out_neighbors(v)
+        }
+    }
+
+    /// `(neighbor, weight)` pairs for the in-edges of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let (targets, weights): (&[VertexId], &[f64]) = if self.directed {
+            let (a, b) = self.in_range(v);
+            (&self.rev_targets[a..b], &self.rev_weights[a..b])
+        } else {
+            let (a, b) = self.out_range(v);
+            (&self.targets[a..b], &self.weights[a..b])
+        };
+        targets.iter().copied().zip(weights.iter().copied())
+    }
+
+    /// Degree of `v` in an undirected graph; out-degree in a digraph.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let (a, b) = self.out_range(v);
+        b - a
+    }
+
+    /// In-degree of `v` (equal to degree for undirected graphs).
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        if self.directed {
+            let (a, b) = self.in_range(v);
+            b - a
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// `d(v)` for undirected graphs, `d_in(v) + d_out(v)` for digraphs —
+    /// exactly the quantity the BPPA properties are stated in terms of.
+    #[inline]
+    pub fn bppa_degree(&self, v: VertexId) -> usize {
+        if self.directed {
+            self.out_degree(v) + self.in_degree(v)
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Neighbors of `v` in an undirected graph.
+    ///
+    /// # Panics
+    /// Panics if the graph is directed (use `out_neighbors`/`in_neighbors`).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        assert!(!self.directed, "neighbors() requires an undirected graph");
+        self.out_neighbors(v)
+    }
+
+    /// Whether the arc `u -> v` (or undirected edge `{u, v}`) exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of the arc `u -> v`, if present. With parallel edges the first
+    /// stored weight is returned.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let (a, _) = self.out_range(u);
+        let neighbors = self.out_neighbors(u);
+        let idx = neighbors.binary_search(&v).ok()?;
+        // binary_search may land anywhere within a run of parallel edges;
+        // rewind to the first.
+        let mut first = idx;
+        while first > 0 && neighbors[first - 1] == v {
+            first -= 1;
+        }
+        Some(self.weights[a + first])
+    }
+
+    /// Label of `v` (0 when the graph is unlabeled).
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u32 {
+        self.labels.as_ref().map_or(0, |l| l[v as usize])
+    }
+
+    /// The label array, if present.
+    #[inline]
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Maximum `bppa_degree` over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices()
+            .map(|v| self.bppa_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over every logical edge `(u, v, w)`. Undirected edges are
+    /// yielded once with `u <= v`; directed arcs are yielded as stored.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.out_edges(u)
+                .filter(move |&(v, _)| self.directed || u <= v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    #[inline]
+    fn out_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.offsets[v], self.offsets[v + 1])
+    }
+
+    #[inline]
+    fn in_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.rev_offsets[v], self.rev_offsets[v + 1])
+    }
+
+    /// The undirected version of a digraph: every arc becomes an undirected
+    /// edge; duplicate/antiparallel arcs are collapsed. Used by the weakly
+    /// connected component workload. Returns a clone for undirected inputs.
+    pub fn to_undirected(&self) -> Graph {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut b = crate::builder::GraphBuilder::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            if u != v {
+                b.add_weighted_edge(u, v, w);
+            } else {
+                b.add_weighted_edge(u, u, w);
+            }
+        }
+        if let Some(labels) = &self.labels {
+            b.set_labels(labels.clone());
+        }
+        b.dedup().build()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .field("directed", &self.directed)
+            .field("weighted", &self.weighted)
+            .field("labeled", &self.labels.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_tail() -> crate::Graph {
+        // 0-1, 1-2, 2-0 triangle plus 2-3 tail.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn undirected_basics() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert!(!g.is_directed());
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.out_degree(2), 3);
+        assert_eq!(g.in_degree(2), 3);
+        assert_eq!(g.bppa_degree(2), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn directed_basics() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert!(g.is_directed());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.bppa_degree(0), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn edge_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.5);
+        b.add_weighted_edge(1, 2, 0.5);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.edge_weight(1, 0), Some(2.5));
+        assert_eq!(g.edge_weight(2, 1), Some(0.5));
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = triangle_plus_tail();
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn to_undirected_collapses_antiparallel() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build().to_undirected();
+        assert!(!g.is_directed());
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.set_labels(vec![7, 8, 9]);
+        let g = b.build();
+        assert!(g.is_labeled());
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.label(2), 9);
+        assert_eq!(g.labels(), Some(&[7, 8, 9][..]));
+    }
+
+    #[test]
+    fn unlabeled_label_is_zero() {
+        let g = triangle_plus_tail();
+        assert!(!g.is_labeled());
+        assert_eq!(g.label(3), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        for v in g.vertices() {
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+}

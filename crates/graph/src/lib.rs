@@ -1,0 +1,22 @@
+//! Graph substrate for the `vcgp` workspace.
+//!
+//! Provides the compressed-sparse-row [`Graph`] type shared by the Pregel
+//! engine, the sequential baselines, and the benchmark harness, together with
+//! deterministic generators for every graph family used by the paper's
+//! experiments, edge-list IO, and traversal utilities.
+//!
+//! Everything in this crate is deterministic: random generators are driven by
+//! an explicit seed through a local SplitMix64 implementation, so every
+//! experiment in the workspace is exactly reproducible.
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod properties;
+pub mod rng;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, VertexId, INVALID_VERTEX};
+pub use rng::SplitMix64;

@@ -1,0 +1,172 @@
+//! Graph property probes used to parameterize the complexity analysis
+//! (the paper's Table 1 is stated in terms of `n`, `m`, the diameter `δ`,
+//! and query sizes `n_q`, `m_q`).
+
+use crate::graph::{Graph, VertexId};
+use crate::traversal::bfs_levels;
+
+/// Exact diameter `δ` by running BFS from every vertex; `None` for a
+/// disconnected (or empty) graph. Intended for family metadata at benchmark
+/// sizes, not as a competitive diameter algorithm (that is row 1's job).
+pub fn exact_diameter(g: &Graph) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.vertices() {
+        let levels = bfs_levels(g, v);
+        let mut ecc = 0u32;
+        for &d in &levels {
+            if d == u32::MAX {
+                return None;
+            }
+            ecc = ecc.max(d);
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Cheap diameter lower/upper estimate via a double BFS sweep from `start`:
+/// returns the eccentricity of the farthest vertex found. Exact on trees;
+/// a 2-approximation lower bound in general. Used for family metadata on
+/// large graphs where the exact probe would be quadratic.
+pub fn double_sweep_diameter(g: &Graph, start: VertexId) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let first = bfs_levels(g, start);
+    let mut far = start;
+    let mut far_d = 0u32;
+    for (v, &d) in first.iter().enumerate() {
+        if d == u32::MAX {
+            return None;
+        }
+        if d > far_d {
+            far_d = d;
+            far = v as VertexId;
+        }
+    }
+    let second = bfs_levels(g, far);
+    second.into_iter().max()
+}
+
+/// Summary degree statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+/// Degree statistics over `bppa_degree` (d(v), or d_in+d_out for digraphs).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in g.vertices() {
+        let d = g.bppa_degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+    }
+}
+
+/// Whether an undirected graph is bipartite; returns the two-coloring if so.
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    assert!(!g.is_directed(), "bipartition requires an undirected graph");
+    let n = g.num_vertices();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as VertexId {
+        if color[s as usize] != u8::MAX {
+            continue;
+        }
+        color[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if color[v as usize] == u8::MAX {
+                    color[v as usize] = 1 - color[u as usize];
+                    queue.push_back(v);
+                } else if color[v as usize] == color[u as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c == 1).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(exact_diameter(&generators::path(10)), Some(9));
+        assert_eq!(exact_diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(exact_diameter(&generators::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let g = crate::GraphBuilder::new(3).build();
+        assert_eq!(exact_diameter(&g), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        for seed in 0..5 {
+            let t = generators::random_tree(60, seed);
+            assert_eq!(
+                double_sweep_diameter(&t, 0),
+                exact_diameter(&t),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_general() {
+        let g = generators::gnm_connected(50, 90, 4);
+        let exact = exact_diameter(&g).unwrap();
+        let sweep = double_sweep_diameter(&g, 0).unwrap();
+        assert!(sweep <= exact);
+        assert!(sweep * 2 >= exact);
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&generators::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipartition_detects() {
+        assert!(bipartition(&generators::path(6)).is_some());
+        assert!(bipartition(&generators::cycle(6)).is_some());
+        assert!(bipartition(&generators::cycle(5)).is_none());
+        let b = generators::bipartite(5, 7, 20, 1);
+        let coloring = bipartition(&b).unwrap();
+        for (u, v, _) in b.edges() {
+            assert_ne!(coloring[u as usize], coloring[v as usize]);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Breadth-first traversal utilities shared by baselines, validators, and
+//! the benchmark harness.
+
+use crate::graph::{Graph, VertexId, INVALID_VERTEX};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `src` (following out-edges); `u32::MAX` marks
+/// unreachable vertices.
+pub fn bfs_levels(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut levels = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    levels[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let next = levels[u as usize] + 1;
+        for &v in g.out_neighbors(u) {
+            if levels[v as usize] == u32::MAX {
+                levels[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+/// BFS parents from `src`; `INVALID_VERTEX` for the root and unreachable
+/// vertices. The parent of `v` is the vertex from which BFS first reached it.
+pub fn bfs_parents(g: &Graph, src: VertexId) -> Vec<VertexId> {
+    let mut parent = vec![INVALID_VERTEX; g.num_vertices()];
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Connected components of an undirected graph: `(component_id_per_vertex,
+/// component_count)`. Component ids are the smallest vertex id in each
+/// component — the paper's "color" convention (§3.3.1).
+pub fn connected_components(g: &Graph) -> (Vec<VertexId>, usize) {
+    assert!(
+        !g.is_directed(),
+        "connected_components requires an undirected graph"
+    );
+    let n = g.num_vertices();
+    let mut comp = vec![INVALID_VERTEX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n as VertexId {
+        if comp[s as usize] != INVALID_VERTEX {
+            continue;
+        }
+        count += 1;
+        comp[s as usize] = s;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if comp[v as usize] == INVALID_VERTEX {
+                    comp[v as usize] = s;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (comp, count)
+}
+
+/// Whether an undirected graph is connected (the empty graph counts as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).1 == 1
+}
+
+/// Whether an undirected graph is a tree (connected with `m = n - 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    !g.is_directed()
+        && g.num_vertices() > 0
+        && g.num_edges() == g.num_vertices() - 1
+        && is_connected(g)
+}
+
+/// Eccentricity of `src`: the largest BFS distance to any reachable vertex.
+pub fn eccentricity(g: &Graph, src: VertexId) -> u32 {
+    bfs_levels(g, src)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_levels_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels[1], 1);
+        assert_eq!(levels[2], u32::MAX);
+    }
+
+    #[test]
+    fn bfs_parents_tree_shape() {
+        let g = generators::path(4);
+        let p = bfs_parents(&g, 0);
+        assert_eq!(p, vec![INVALID_VERTEX, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_two_islands() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp, vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn directed_bfs_follows_arcs() {
+        let g = generators::directed_path(4);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 3), vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(is_tree(&generators::path(6)));
+        assert!(is_tree(&generators::random_tree(40, 1)));
+        assert!(!is_tree(&generators::cycle(6)));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        assert!(!is_tree(&b.build()));
+    }
+
+    #[test]
+    fn eccentricity_of_path_ends_and_middle() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, 0), 6);
+        assert_eq!(eccentricity(&g, 3), 3);
+    }
+
+    #[test]
+    fn connected_check() {
+        assert!(is_connected(&generators::gnm_connected(40, 60, 2)));
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+        assert!(!is_connected(&GraphBuilder::new(2).build()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Monoid aggregators, as in Pregel/Giraph.
+//!
+//! Each vertex may fold values into named aggregators during a superstep;
+//! the merged result is visible to every vertex (and the master) in the
+//! *next* superstep. Aggregators are reset to the operation's identity at
+//! the start of every superstep unless declared `persistent`.
+
+/// A dynamically-typed aggregator value. Using a small closed enum keeps the
+/// engine free of type-erasure machinery while covering every aggregator the
+//  twenty workloads need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggValue {
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating payload.
+    F64(f64),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+impl AggValue {
+    /// Extracts an `i64`, panicking on type mismatch (an aggregator misuse
+    /// is a programming error, not a runtime condition).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            AggValue::I64(v) => v,
+            other => panic!("aggregator type mismatch: expected I64, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `f64`, panicking on type mismatch.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            AggValue::F64(v) => v,
+            other => panic!("aggregator type mismatch: expected F64, got {other:?}"),
+        }
+    }
+
+    /// Extracts a `bool`, panicking on type mismatch.
+    pub fn as_bool(self) -> bool {
+        match self {
+            AggValue::Bool(v) => v,
+            other => panic!("aggregator type mismatch: expected Bool, got {other:?}"),
+        }
+    }
+}
+
+/// The fold operation of an aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Integer sum; identity 0.
+    SumI64,
+    /// Float sum; identity 0.0.
+    SumF64,
+    /// Integer minimum; identity `i64::MAX`.
+    MinI64,
+    /// Integer maximum; identity `i64::MIN`.
+    MaxI64,
+    /// Float minimum; identity `f64::INFINITY`.
+    MinF64,
+    /// Float maximum; identity `f64::NEG_INFINITY`.
+    MaxF64,
+    /// Logical conjunction; identity `true`.
+    And,
+    /// Logical disjunction; identity `false`.
+    Or,
+}
+
+impl AggOp {
+    /// The identity element of the monoid.
+    pub fn identity(self) -> AggValue {
+        match self {
+            AggOp::SumI64 => AggValue::I64(0),
+            AggOp::SumF64 => AggValue::F64(0.0),
+            AggOp::MinI64 => AggValue::I64(i64::MAX),
+            AggOp::MaxI64 => AggValue::I64(i64::MIN),
+            AggOp::MinF64 => AggValue::F64(f64::INFINITY),
+            AggOp::MaxF64 => AggValue::F64(f64::NEG_INFINITY),
+            AggOp::And => AggValue::Bool(true),
+            AggOp::Or => AggValue::Bool(false),
+        }
+    }
+
+    /// Folds `v` into `acc`.
+    pub fn fold(self, acc: &mut AggValue, v: AggValue) {
+        match (self, acc, v) {
+            (AggOp::SumI64, AggValue::I64(a), AggValue::I64(b)) => *a += b,
+            (AggOp::SumF64, AggValue::F64(a), AggValue::F64(b)) => *a += b,
+            (AggOp::MinI64, AggValue::I64(a), AggValue::I64(b)) => *a = (*a).min(b),
+            (AggOp::MaxI64, AggValue::I64(a), AggValue::I64(b)) => *a = (*a).max(b),
+            (AggOp::MinF64, AggValue::F64(a), AggValue::F64(b)) => *a = a.min(b),
+            (AggOp::MaxF64, AggValue::F64(a), AggValue::F64(b)) => *a = a.max(b),
+            (AggOp::And, AggValue::Bool(a), AggValue::Bool(b)) => *a &= b,
+            (AggOp::Or, AggValue::Bool(a), AggValue::Bool(b)) => *a |= b,
+            (op, acc, v) => panic!("aggregator type mismatch for {op:?}: acc {acc:?}, value {v:?}"),
+        }
+    }
+}
+
+/// Declaration of one aggregator, returned by
+/// [`crate::VertexProgram::aggregators`].
+#[derive(Debug, Clone, Copy)]
+pub struct AggregatorDef {
+    /// Diagnostic name.
+    pub name: &'static str,
+    /// The fold operation.
+    pub op: AggOp,
+}
+
+impl AggregatorDef {
+    /// Convenience constructor.
+    pub const fn new(name: &'static str, op: AggOp) -> Self {
+        AggregatorDef { name, op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(AggOp::SumI64.identity(), AggValue::I64(0));
+        assert_eq!(AggOp::MinI64.identity(), AggValue::I64(i64::MAX));
+        assert_eq!(AggOp::And.identity(), AggValue::Bool(true));
+        assert_eq!(AggOp::Or.identity(), AggValue::Bool(false));
+    }
+
+    #[test]
+    fn folds() {
+        let mut acc = AggOp::SumI64.identity();
+        AggOp::SumI64.fold(&mut acc, AggValue::I64(3));
+        AggOp::SumI64.fold(&mut acc, AggValue::I64(4));
+        assert_eq!(acc.as_i64(), 7);
+
+        let mut acc = AggOp::MinF64.identity();
+        AggOp::MinF64.fold(&mut acc, AggValue::F64(2.5));
+        AggOp::MinF64.fold(&mut acc, AggValue::F64(1.5));
+        assert_eq!(acc.as_f64(), 1.5);
+
+        let mut acc = AggOp::Or.identity();
+        AggOp::Or.fold(&mut acc, AggValue::Bool(false));
+        assert!(!acc.as_bool());
+        AggOp::Or.fold(&mut acc, AggValue::Bool(true));
+        assert!(acc.as_bool());
+    }
+
+    #[test]
+    fn fold_is_associative_sample() {
+        // (a + b) + c == a + (b + c) for the integer sum monoid.
+        let mut left = AggValue::I64(1);
+        AggOp::SumI64.fold(&mut left, AggValue::I64(2));
+        AggOp::SumI64.fold(&mut left, AggValue::I64(3));
+        let mut right = AggValue::I64(2);
+        AggOp::SumI64.fold(&mut right, AggValue::I64(3));
+        let mut outer = AggValue::I64(1);
+        AggOp::SumI64.fold(&mut outer, right);
+        assert_eq!(left, outer);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn mismatch_panics() {
+        let mut acc = AggOp::SumI64.identity();
+        AggOp::SumI64.fold(&mut acc, AggValue::F64(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn as_wrong_type_panics() {
+        AggValue::I64(3).as_f64();
+    }
+}

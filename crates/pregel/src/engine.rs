@@ -1,0 +1,798 @@
+//! The BSP execution engine.
+//!
+//! Vertices are partitioned over `W` worker threads by `v mod W`; each
+//! superstep runs three phases separated by barriers:
+//!
+//! 1. **compute** — every worker runs `compute` on its active vertices and
+//!    buckets outgoing messages by destination worker;
+//! 2. **delivery** — every worker drains the buffers addressed to it *in
+//!    fixed sender order*, so message delivery order is deterministic
+//!    regardless of thread scheduling;
+//! 3. **master** — worker 0 merges aggregators and statistics, runs the
+//!    program's master-compute hook, and decides whether to stop.
+//!
+//! The engine never holds a lock across a barrier, and every shared mutex
+//! is either per-worker (uncontended) or touched only in the serial master
+//! phase.
+
+use crate::aggregate::{AggValue, AggregatorDef};
+use crate::metrics::{HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats};
+use crate::partition::{Partitioner, Partitioning};
+use crate::program::{Context, MasterContext, Outgoing, VertexProgram};
+use crate::state_size::StateSize;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+use vcgp_graph::{Graph, VertexId};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct PregelConfig {
+    /// Number of worker threads `p` (the processor count of the BSP cost
+    /// model). Defaults to the machine parallelism, capped at 8.
+    pub num_workers: usize,
+    /// Hard cap on supersteps (a safety net; converging algorithms never
+    /// reach it).
+    pub max_supersteps: u64,
+    /// Seed for the deterministic per-vertex RNG ([`Context::rng`]).
+    pub seed: u64,
+    /// Record per-vertex maxima (messages, work, state bytes) for the BPPA
+    /// checker. Adds O(n) bookkeeping per superstep; off by default.
+    pub track_per_vertex: bool,
+    /// Vertex-to-worker assignment strategy.
+    pub partitioning: Partitioning,
+}
+
+impl Default for PregelConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4);
+        PregelConfig {
+            num_workers: workers,
+            max_supersteps: 1_000_000,
+            seed: 0x5653_4750,
+            track_per_vertex: false,
+            partitioning: Partitioning::Hash,
+        }
+    }
+}
+
+impl PregelConfig {
+    /// A single-worker configuration (serial BSP; useful for debugging and
+    /// microbenchmarks).
+    pub fn single_worker() -> Self {
+        PregelConfig {
+            num_workers: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, w: usize) -> Self {
+        assert!(w >= 1, "at least one worker required");
+        self.num_workers = w;
+        self
+    }
+
+    /// Sets the superstep cap.
+    pub fn with_max_supersteps(mut self, cap: u64) -> Self {
+        self.max_supersteps = cap;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-vertex tracking.
+    pub fn with_per_vertex_tracking(mut self) -> Self {
+        self.track_per_vertex = true;
+        self
+    }
+
+    /// Sets the vertex-to-worker partitioning strategy.
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+}
+
+/// Runs `program` on `graph` starting from `P::Value::default()` at every
+/// vertex.
+pub fn run<P>(program: &P, graph: &Graph, config: &PregelConfig) -> (Vec<P::Value>, RunStats)
+where
+    P: VertexProgram,
+    P::Value: Default,
+{
+    let values = (0..graph.num_vertices())
+        .map(|_| P::Value::default())
+        .collect();
+    run_with_values(program, graph, values, config)
+}
+
+/// Per-worker mutable state, owned exclusively by one worker thread during
+/// the run and reassembled afterwards.
+struct WorkerState<V, M> {
+    /// Global vertex ids owned by this worker (`me`, `me + W`, ...).
+    ids: Vec<VertexId>,
+    values: Vec<V>,
+    active: Vec<bool>,
+    inbox: Vec<Vec<M>>,
+    pv: Option<PerVertexLocal>,
+}
+
+/// Per-vertex tracking arrays local to one worker (indexed like `ids`).
+struct PerVertexLocal {
+    max_sent: Vec<u64>,
+    max_received: Vec<u64>,
+    max_work: Vec<u64>,
+    max_state_bytes: Vec<u64>,
+    recv_cur: Vec<u64>,
+}
+
+impl PerVertexLocal {
+    fn new(k: usize) -> Self {
+        PerVertexLocal {
+            max_sent: vec![0; k],
+            max_received: vec![0; k],
+            max_work: vec![0; k],
+            max_state_bytes: vec![0; k],
+            recv_cur: vec![0; k],
+        }
+    }
+}
+
+/// Scratch slot written by one worker each superstep and read by the master
+/// phase.
+#[derive(Default)]
+struct Scratch {
+    stats: WorkerStats,
+    delivered: u64,
+    next_active: usize,
+    ran: usize,
+}
+
+/// Addressed messages buffered between the compute and delivery phases.
+type Outbox<M> = Vec<(VertexId, M)>;
+
+/// Master-phase decisions shared back to all workers.
+struct Control {
+    stop: bool,
+    reason: HaltReason,
+    reactivate: bool,
+}
+
+/// Everything shared between worker threads.
+struct Shared<'a, P: VertexProgram> {
+    program: &'a P,
+    graph: &'a Graph,
+    cfg: &'a PregelConfig,
+    num_workers: usize,
+    partitioner: Partitioner,
+    agg_defs: Vec<AggregatorDef>,
+    barrier: Barrier,
+    /// `outboxes[sender][receiver]`: messages produced in the compute phase,
+    /// drained by the receiver in the delivery phase.
+    outboxes: Vec<Vec<Mutex<Outbox<P::Message>>>>,
+    scratch: Vec<Mutex<Scratch>>,
+    agg_partials: Vec<Mutex<Vec<AggValue>>>,
+    agg_merged: Mutex<Vec<AggValue>>,
+    globals: Mutex<Vec<AggValue>>,
+    control: Mutex<Control>,
+    superstep_log: Mutex<Vec<SuperstepStats>>,
+}
+
+/// Runs `program` on `graph` with explicit initial vertex values.
+///
+/// Returns the final vertex values (indexed by vertex id) and the run's
+/// instrumentation.
+///
+/// # Panics
+/// Panics if `values.len() != graph.num_vertices()`.
+pub fn run_with_values<P>(
+    program: &P,
+    graph: &Graph,
+    values: Vec<P::Value>,
+    config: &PregelConfig,
+) -> (Vec<P::Value>, RunStats)
+where
+    P: VertexProgram,
+{
+    let n = graph.num_vertices();
+    assert_eq!(values.len(), n, "one initial value per vertex required");
+    let w = config.num_workers.max(1);
+    let partitioner = Partitioner::new(config.partitioning, n, w);
+    let started = Instant::now();
+
+    let agg_defs = program.aggregators();
+    let identities: Vec<AggValue> = agg_defs.iter().map(|d| d.op.identity()).collect();
+
+    // Distribute vertices and their values round-robin over workers.
+    let mut states: Vec<WorkerState<P::Value, P::Message>> = (0..w)
+        .map(|_| WorkerState {
+            ids: Vec::new(),
+            values: Vec::new(),
+            active: Vec::new(),
+            inbox: Vec::new(),
+            pv: None,
+        })
+        .collect();
+    for (v, value) in values.into_iter().enumerate() {
+        let st = &mut states[partitioner.owner(v as VertexId)];
+        st.ids.push(v as VertexId);
+        st.values.push(value);
+    }
+    for st in states.iter_mut() {
+        let k = st.ids.len();
+        st.active = vec![true; k];
+        st.inbox = (0..k).map(|_| Vec::new()).collect();
+        if config.track_per_vertex {
+            st.pv = Some(PerVertexLocal::new(k));
+        }
+    }
+
+    let shared = Shared::<P> {
+        program,
+        graph,
+        cfg: config,
+        num_workers: w,
+        partitioner,
+        agg_defs,
+        barrier: Barrier::new(w),
+        outboxes: (0..w)
+            .map(|_| (0..w).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        scratch: (0..w).map(|_| Mutex::new(Scratch::default())).collect(),
+        agg_partials: (0..w).map(|_| Mutex::new(identities.clone())).collect(),
+        agg_merged: Mutex::new(identities.clone()),
+        globals: Mutex::new(program.globals()),
+        control: Mutex::new(Control {
+            stop: false,
+            reason: HaltReason::Converged,
+            reactivate: false,
+        }),
+        superstep_log: Mutex::new(Vec::new()),
+    };
+
+    if w == 1 {
+        worker_loop(0, &mut states[0], &shared, &identities);
+    } else {
+        std::thread::scope(|scope| {
+            for (me, st) in states.iter_mut().enumerate() {
+                let shared = &shared;
+                let identities = &identities;
+                scope.spawn(move || worker_loop(me, st, shared, identities));
+            }
+        });
+    }
+
+    // Reassemble results by vertex id.
+    let mut out_values: Vec<Option<P::Value>> = (0..n).map(|_| None).collect();
+    let mut per_vertex = if config.track_per_vertex {
+        Some(PerVertexStats::new(n))
+    } else {
+        None
+    };
+    for st in states {
+        let pv_local = st.pv;
+        for (li, (id, value)) in st.ids.iter().zip(st.values).enumerate() {
+            let gi = *id as usize;
+            out_values[gi] = Some(value);
+            if let (Some(pv_out), Some(pv)) = (per_vertex.as_mut(), pv_local.as_ref()) {
+                pv_out.max_sent[gi] = pv.max_sent[li];
+                pv_out.max_received[gi] = pv.max_received[li];
+                pv_out.max_work[gi] = pv.max_work[li];
+                pv_out.max_state_bytes[gi] = pv.max_state_bytes[li];
+            }
+        }
+    }
+    let final_values: Vec<P::Value> = out_values
+        .into_iter()
+        .map(|v| v.expect("every vertex assigned to exactly one worker"))
+        .collect();
+
+    let control = shared.control.into_inner().unwrap();
+    let stats = RunStats {
+        superstep_stats: shared.superstep_log.into_inner().unwrap(),
+        num_workers: w,
+        halt_reason: control.reason,
+        per_vertex,
+        wall: started.elapsed(),
+    };
+    (final_values, stats)
+}
+
+/// The per-worker superstep loop. All workers execute this function in
+/// lockstep; worker 0 additionally runs the serial master phase.
+fn worker_loop<P>(
+    me: usize,
+    st: &mut WorkerState<P::Value, P::Message>,
+    sh: &Shared<'_, P>,
+    identities: &[AggValue],
+) where
+    P: VertexProgram,
+{
+    let w = sh.num_workers;
+    let combiner = sh.program.combiner();
+    let mut superstep: u64 = 0;
+    loop {
+        // ---- Phase A: compute -------------------------------------------
+        let agg_prev = sh.agg_merged.lock().unwrap().clone();
+        let globals_snapshot = sh.globals.lock().unwrap().clone();
+        let t0 = Instant::now();
+        let mut out = Outgoing::new(w);
+        let mut work_total = 0u64;
+        let mut sent_total = 0u64;
+        let mut ran = 0usize;
+        let mut agg_partial = identities.to_vec();
+        for li in 0..st.ids.len() {
+            let msgs = std::mem::take(&mut st.inbox[li]);
+            if !st.active[li] && msgs.is_empty() {
+                continue;
+            }
+            ran += 1;
+            // One unit for the invocation plus one per message processed.
+            let mut vwork = 1 + msgs.len() as u64;
+            let mut vsent = 0u64;
+            let mut halted = false;
+            {
+                let mut ctx = Context::<P> {
+                    id: st.ids[li],
+                    superstep,
+                    graph: sh.graph,
+                    value: &mut st.values[li],
+                    halted: &mut halted,
+                    out: &mut out,
+                    partitioner: sh.partitioner,
+                    agg_prev: &agg_prev,
+                    agg_partial: &mut agg_partial,
+                    agg_defs: &sh.agg_defs,
+                    globals: &globals_snapshot,
+                    work: &mut vwork,
+                    sent: &mut vsent,
+                    seed: sh.cfg.seed,
+                };
+                sh.program.compute(&mut ctx, &msgs);
+            }
+            st.active[li] = !halted;
+            work_total += vwork;
+            sent_total += vsent;
+            if let Some(pv) = st.pv.as_mut() {
+                pv.max_sent[li] = pv.max_sent[li].max(vsent);
+                pv.max_work[li] = pv.max_work[li].max(vwork);
+                pv.max_state_bytes[li] =
+                    pv.max_state_bytes[li].max(st.values[li].state_bytes() as u64);
+            }
+        }
+        let wall = t0.elapsed();
+        for (dw, buf) in out.bufs.into_iter().enumerate() {
+            if !buf.is_empty() {
+                let mut slot = sh.outboxes[me][dw].lock().unwrap();
+                debug_assert!(slot.is_empty(), "outbox not drained");
+                *slot = buf;
+            }
+        }
+        {
+            let mut sc = sh.scratch[me].lock().unwrap();
+            sc.stats = WorkerStats {
+                work: work_total,
+                sent: sent_total,
+                received: 0,
+                wall,
+            };
+            sc.delivered = 0;
+            sc.next_active = 0;
+            sc.ran = ran;
+        }
+        *sh.agg_partials[me].lock().unwrap() = agg_partial;
+        sh.barrier.wait();
+
+        // ---- Phase B: delivery ------------------------------------------
+        if let Some(pv) = st.pv.as_mut() {
+            pv.recv_cur.iter_mut().for_each(|c| *c = 0);
+        }
+        let mut received = 0u64;
+        let mut delivered = 0u64;
+        for sender in 0..w {
+            let buf = std::mem::take(&mut *sh.outboxes[sender][me].lock().unwrap());
+            for (to, msg) in buf {
+                let li = sh.partitioner.local_index(to);
+                received += 1;
+                if let Some(pv) = st.pv.as_mut() {
+                    pv.recv_cur[li] += 1;
+                }
+                match combiner {
+                    Some(combine) if !st.inbox[li].is_empty() => {
+                        combine(&mut st.inbox[li][0], msg);
+                    }
+                    _ => {
+                        st.inbox[li].push(msg);
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        if let Some(pv) = st.pv.as_mut() {
+            for li in 0..pv.recv_cur.len() {
+                pv.max_received[li] = pv.max_received[li].max(pv.recv_cur[li]);
+            }
+        }
+        let next_active = (0..st.ids.len())
+            .filter(|&li| st.active[li] || !st.inbox[li].is_empty())
+            .count();
+        {
+            let mut sc = sh.scratch[me].lock().unwrap();
+            sc.stats.received = received;
+            sc.delivered = delivered;
+            sc.next_active = next_active;
+        }
+        sh.barrier.wait();
+
+        // ---- Phase C: master (worker 0 only) ----------------------------
+        if me == 0 {
+            let mut merged = identities.to_vec();
+            let mut workers = Vec::with_capacity(w);
+            let mut active_next_total = 0usize;
+            let mut ran_total = 0usize;
+            let mut sent = 0u64;
+            let mut delivered_total = 0u64;
+            for i in 0..w {
+                let partial = std::mem::replace(
+                    &mut *sh.agg_partials[i].lock().unwrap(),
+                    identities.to_vec(),
+                );
+                for (idx, v) in partial.into_iter().enumerate() {
+                    sh.agg_defs[idx].op.fold(&mut merged[idx], v);
+                }
+                let sc = sh.scratch[i].lock().unwrap();
+                workers.push(sc.stats);
+                active_next_total += sc.next_active;
+                ran_total += sc.ran;
+                sent += sc.stats.sent;
+                delivered_total += sc.delivered;
+            }
+            sh.superstep_log.lock().unwrap().push(SuperstepStats {
+                workers,
+                active: ran_total,
+                messages_sent: sent,
+                messages_delivered: delivered_total,
+            });
+            let mut globals = sh.globals.lock().unwrap();
+            let mut mc = MasterContext {
+                superstep,
+                num_vertices: sh.graph.num_vertices(),
+                active: active_next_total,
+                aggregates: &merged,
+                globals: &mut globals,
+                halt: false,
+                reactivate_all: false,
+            };
+            sh.program.master_compute(&mut mc);
+            let (halt, reactivate) = (mc.halt, mc.reactivate_all);
+            drop(globals);
+            let mut ctl = sh.control.lock().unwrap();
+            ctl.reactivate = reactivate;
+            if halt {
+                ctl.stop = true;
+                ctl.reason = HaltReason::MasterHalted;
+            } else if active_next_total == 0 && !reactivate {
+                ctl.stop = true;
+                ctl.reason = HaltReason::Converged;
+            } else if superstep + 1 >= sh.cfg.max_supersteps {
+                ctl.stop = true;
+                ctl.reason = HaltReason::MaxSupersteps;
+            } else {
+                ctl.stop = false;
+            }
+            *sh.agg_merged.lock().unwrap() = merged;
+        }
+        sh.barrier.wait();
+
+        let (stop, reactivate) = {
+            let ctl = sh.control.lock().unwrap();
+            (ctl.stop, ctl.reactivate)
+        };
+        if reactivate {
+            st.active.iter_mut().for_each(|a| *a = true);
+        }
+        if stop {
+            break;
+        }
+        superstep += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggOp, AggregatorDef};
+    use vcgp_graph::generators;
+
+    /// Halts immediately; sanity-checks convergence in one superstep.
+    struct Noop;
+    impl VertexProgram for Noop {
+        type Value = u32;
+        type Message = ();
+        fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+            ctx.vote_to_halt();
+        }
+    }
+
+    /// Each vertex floods its id for `rounds` supersteps; exercises message
+    /// delivery, reactivation, and counters.
+    struct Flood {
+        rounds: u64,
+    }
+    impl VertexProgram for Flood {
+        type Value = u64;
+        type Message = u64;
+        fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u64]) {
+            *ctx.value_mut() += msgs.iter().sum::<u64>();
+            if ctx.superstep() < self.rounds {
+                ctx.send_to_all_out_neighbors(1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn noop_converges_in_one_superstep() {
+        let g = generators::path(10);
+        let (_, stats) = run(&Noop, &g, &PregelConfig::single_worker());
+        assert_eq!(stats.supersteps(), 1);
+        assert_eq!(stats.halt_reason, HaltReason::Converged);
+        assert_eq!(stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn flood_counts_messages_per_degree() {
+        let g = generators::star(5); // center 0 with 4 leaves
+        let (values, stats) = run(&Flood { rounds: 1 }, &g, &PregelConfig::single_worker());
+        // Superstep 0: everyone sends 1 along each edge; superstep 1:
+        // everyone sums. Center receives 4, leaves receive 1 each.
+        assert_eq!(values[0], 4);
+        assert_eq!(values[1], 1);
+        assert_eq!(stats.total_messages(), 8);
+        assert_eq!(stats.supersteps(), 2);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let g = generators::gnm_connected(101, 300, 9);
+        let base = run(&Flood { rounds: 3 }, &g, &PregelConfig::single_worker());
+        for workers in [2, 3, 5, 8] {
+            let cfg = PregelConfig::default().with_workers(workers);
+            let other = run(&Flood { rounds: 3 }, &g, &cfg);
+            assert_eq!(base.0, other.0, "values differ at W={workers}");
+            assert_eq!(
+                base.1.total_messages(),
+                other.1.total_messages(),
+                "message totals differ at W={workers}"
+            );
+            assert_eq!(base.1.supersteps(), other.1.supersteps());
+        }
+    }
+
+    /// Min-propagation with a combiner: messages to the same vertex collapse.
+    struct MinProp;
+    impl VertexProgram for MinProp {
+        type Value = u32;
+        type Message = u32;
+        fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u32]) {
+            let incoming = msgs.iter().copied().min();
+            let current = *ctx.value();
+            let candidate = if ctx.superstep() == 0 {
+                ctx.id()
+            } else {
+                current
+            };
+            let best = incoming.map_or(candidate, |m| m.min(candidate));
+            if ctx.superstep() == 0 || best < current {
+                *ctx.value_mut() = best;
+                ctx.send_to_all_out_neighbors(best);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combiner(&self) -> Option<fn(&mut u32, u32)> {
+            Some(|acc, m| *acc = (*acc).min(m))
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_delivered_not_sent() {
+        let g = generators::complete(6);
+        let cfg = PregelConfig::single_worker();
+        let (values, stats) = run(&MinProp, &g, &cfg);
+        assert!(values.iter().all(|&v| v == 0));
+        let s0 = &stats.superstep_stats[0];
+        assert_eq!(s0.messages_sent, 30); // 6 vertices x 5 neighbors
+        assert_eq!(s0.messages_delivered, 6); // combined to one per vertex
+    }
+
+    /// Aggregator test: sums vertex ids in superstep 0, master halts after
+    /// verifying the total.
+    struct SumIds;
+    impl VertexProgram for SumIds {
+        type Value = i64;
+        type Message = ();
+        fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+            if ctx.superstep() == 0 {
+                ctx.aggregate(0, AggValue::I64(ctx.id() as i64));
+            } else {
+                *ctx.value_mut() = ctx.read_aggregate(0).as_i64();
+                ctx.vote_to_halt();
+            }
+        }
+        fn aggregators(&self) -> Vec<AggregatorDef> {
+            vec![AggregatorDef::new("sum", AggOp::SumI64)]
+        }
+    }
+
+    #[test]
+    fn aggregator_visible_next_superstep() {
+        let g = generators::path(10);
+        for workers in [1, 4] {
+            let cfg = PregelConfig::default().with_workers(workers);
+            let (values, _) = run(&SumIds, &g, &cfg);
+            assert!(values.iter().all(|&v| v == 45), "W={workers}");
+        }
+    }
+
+    /// Master drives three phases via a global slot, reactivating everyone.
+    struct Phased;
+    impl VertexProgram for Phased {
+        type Value = i64;
+        type Message = ();
+        fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+            *ctx.value_mut() = ctx.global(0).as_i64();
+            ctx.vote_to_halt();
+        }
+        fn globals(&self) -> Vec<AggValue> {
+            vec![AggValue::I64(0)]
+        }
+        fn master_compute(&self, master: &mut MasterContext<'_>) {
+            let phase = master.global(0).as_i64();
+            if phase < 2 {
+                master.set_global(0, AggValue::I64(phase + 1));
+                master.reactivate_all();
+            } else {
+                master.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn master_phases_and_halt() {
+        let g = generators::path(5);
+        let (values, stats) = run(&Phased, &g, &PregelConfig::default().with_workers(3));
+        assert_eq!(stats.halt_reason, HaltReason::MasterHalted);
+        assert_eq!(stats.supersteps(), 3);
+        assert!(values.iter().all(|&v| v == 2));
+    }
+
+    /// Never halts: exercises the superstep cap.
+    struct Forever;
+    impl VertexProgram for Forever {
+        type Value = u32;
+        type Message = ();
+        fn compute(&self, _ctx: &mut Context<'_, Self>, _msgs: &[()]) {}
+    }
+
+    #[test]
+    fn max_supersteps_cap() {
+        let g = generators::path(3);
+        let cfg = PregelConfig::single_worker().with_max_supersteps(7);
+        let (_, stats) = run(&Forever, &g, &cfg);
+        assert_eq!(stats.supersteps(), 7);
+        assert_eq!(stats.halt_reason, HaltReason::MaxSupersteps);
+    }
+
+    #[test]
+    fn per_vertex_tracking_reflects_degree() {
+        let g = generators::star(6);
+        let cfg = PregelConfig::single_worker().with_per_vertex_tracking();
+        let (_, stats) = run(&Flood { rounds: 1 }, &g, &cfg);
+        let pv = stats.per_vertex.unwrap();
+        assert_eq!(pv.max_sent[0], 5); // center sends to 5 leaves
+        assert_eq!(pv.max_sent[1], 1);
+        assert_eq!(pv.max_received[0], 5);
+        assert_eq!(pv.max_received[2], 1);
+        assert!(pv.max_work[0] >= 6); // 1 invocation + 5 sends
+        assert!(pv.max_state_bytes[0] >= 8);
+    }
+
+    #[test]
+    fn deterministic_rng_across_workers() {
+        struct RngProbe;
+        impl VertexProgram for RngProbe {
+            type Value = u64;
+            type Message = ();
+            fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+                *ctx.value_mut() = ctx.rng().next_u64();
+                ctx.vote_to_halt();
+            }
+        }
+        let g = generators::path(37);
+        let a = run(&RngProbe, &g, &PregelConfig::single_worker().with_seed(5)).0;
+        let b = run(
+            &RngProbe,
+            &g,
+            &PregelConfig::default().with_workers(4).with_seed(5),
+        )
+        .0;
+        let c = run(&RngProbe, &g, &PregelConfig::single_worker().with_seed(6)).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn message_reactivates_halted_vertex() {
+        /// Vertex 0 sends one message to vertex 2 in superstep 1 only.
+        struct LateSend;
+        impl VertexProgram for LateSend {
+            type Value = u32;
+            type Message = u32;
+            fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u32]) {
+                if ctx.superstep() == 0 && ctx.id() == 0 {
+                    ctx.send(2, 99);
+                }
+                if let Some(&m) = msgs.first() {
+                    *ctx.value_mut() = m;
+                }
+                ctx.vote_to_halt();
+            }
+        }
+        let g = generators::path(4);
+        let (values, stats) = run(&LateSend, &g, &PregelConfig::default().with_workers(2));
+        assert_eq!(values[2], 99);
+        assert_eq!(stats.supersteps(), 2);
+    }
+
+    #[test]
+    fn work_accounting_charges() {
+        struct Charger;
+        impl VertexProgram for Charger {
+            type Value = u32;
+            type Message = ();
+            fn compute(&self, ctx: &mut Context<'_, Self>, _msgs: &[()]) {
+                ctx.charge(10);
+                ctx.vote_to_halt();
+            }
+        }
+        let g = generators::path(4);
+        let (_, stats) = run(&Charger, &g, &PregelConfig::single_worker());
+        // 4 vertices x (1 invocation + 10 charged).
+        assert_eq!(stats.total_work(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per vertex")]
+    fn wrong_value_count_panics() {
+        let g = generators::path(3);
+        run_with_values(&Noop, &g, vec![0u32; 2], &PregelConfig::single_worker());
+    }
+
+    #[test]
+    fn range_partitioning_matches_hash() {
+        let g = generators::gnm_connected(123, 350, 4);
+        let hash_cfg = PregelConfig::default().with_workers(4);
+        let range_cfg = PregelConfig::default()
+            .with_workers(4)
+            .with_partitioning(crate::partition::Partitioning::Range);
+        let a = run(&Flood { rounds: 3 }, &g, &hash_cfg);
+        let b = run(&Flood { rounds: 3 }, &g, &range_cfg);
+        assert_eq!(a.0, b.0, "results must not depend on partitioning");
+        assert_eq!(a.1.total_messages(), b.1.total_messages());
+        assert_eq!(a.1.supersteps(), b.1.supersteps());
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = vcgp_graph::GraphBuilder::new(0).build();
+        let (values, stats) = run(&Noop, &g, &PregelConfig::default().with_workers(2));
+        assert!(values.is_empty());
+        assert_eq!(stats.supersteps(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Run statistics: the raw observables of the BSP cost model.
+
+use std::time::Duration;
+
+/// Why a run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Every vertex voted to halt and no message was in flight.
+    Converged,
+    /// The configured superstep cap was reached.
+    MaxSupersteps,
+    /// The master requested termination.
+    MasterHalted,
+}
+
+/// Per-worker observables for one superstep: exactly the `w_i`, `s_i`,
+/// `r_i` of Valiant's model (§2.1 of the paper), plus wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Local work units performed by this worker (`w_i`).
+    pub work: u64,
+    /// Messages sent by this worker (`s_i`), counted at the algorithm
+    /// level (before any combining).
+    pub sent: u64,
+    /// Messages received by this worker (`r_i`), counted at the algorithm
+    /// level.
+    pub received: u64,
+    /// Wall-clock time of the compute phase on this worker.
+    pub wall: Duration,
+}
+
+/// Aggregated observables for one superstep.
+#[derive(Debug, Clone, Default)]
+pub struct SuperstepStats {
+    /// One entry per worker.
+    pub workers: Vec<WorkerStats>,
+    /// Vertices that executed `compute` this superstep.
+    pub active: usize,
+    /// Total messages sent (pre-combine).
+    pub messages_sent: u64,
+    /// Total messages delivered to inboxes (post-combine).
+    pub messages_delivered: u64,
+}
+
+impl SuperstepStats {
+    /// `w = max_i w_i`.
+    pub fn max_work(&self) -> u64 {
+        self.workers.iter().map(|w| w.work).max().unwrap_or(0)
+    }
+
+    /// `h = max_i max(s_i, r_i)`.
+    pub fn max_h(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.sent.max(w.received))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total work across workers.
+    pub fn total_work(&self) -> u64 {
+        self.workers.iter().map(|w| w.work).sum()
+    }
+}
+
+/// Per-vertex maxima across the whole run, recorded when
+/// [`crate::PregelConfig::track_per_vertex`] is set. These are the
+/// observables for BPPA properties 1-3.
+#[derive(Debug, Clone, Default)]
+pub struct PerVertexStats {
+    /// Max messages sent by each vertex in any single superstep.
+    pub max_sent: Vec<u64>,
+    /// Max messages received by each vertex in any single superstep.
+    pub max_received: Vec<u64>,
+    /// Max work units charged by each vertex in any single superstep.
+    pub max_work: Vec<u64>,
+    /// Max state bytes held by each vertex at any superstep boundary.
+    pub max_state_bytes: Vec<u64>,
+}
+
+impl PerVertexStats {
+    pub(crate) fn new(n: usize) -> Self {
+        PerVertexStats {
+            max_sent: vec![0; n],
+            max_received: vec![0; n],
+            max_work: vec![0; n],
+            max_state_bytes: vec![0; n],
+        }
+    }
+
+    /// Merges another run's per-vertex maxima into this one (pipelines).
+    pub fn merge_max(&mut self, other: &PerVertexStats) {
+        fn fold(a: &mut Vec<u64>, b: &[u64]) {
+            if a.len() < b.len() {
+                a.resize(b.len(), 0);
+            }
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = (*x).max(y);
+            }
+        }
+        fold(&mut self.max_sent, &other.max_sent);
+        fold(&mut self.max_received, &other.max_received);
+        fold(&mut self.max_work, &other.max_work);
+        fold(&mut self.max_state_bytes, &other.max_state_bytes);
+    }
+}
+
+/// Complete statistics of one Pregel run (or a pipeline of runs, after
+/// [`RunStats::merge`]).
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-superstep observables, in execution order.
+    pub superstep_stats: Vec<SuperstepStats>,
+    /// Number of workers `p`.
+    pub num_workers: usize,
+    /// Why the computation stopped.
+    pub halt_reason: HaltReason,
+    /// Per-vertex maxima (when tracking was enabled).
+    pub per_vertex: Option<PerVertexStats>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> u64 {
+        self.superstep_stats.len() as u64
+    }
+
+    /// Total messages sent over the run (pre-combine; the paper's message
+    /// complexity).
+    pub fn total_messages(&self) -> u64 {
+        self.superstep_stats.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total work units over the run.
+    pub fn total_work(&self) -> u64 {
+        self.superstep_stats.iter().map(|s| s.total_work()).sum()
+    }
+
+    /// Concatenates another run's supersteps onto this one, merging
+    /// per-vertex maxima and summing wall time. Used by multi-stage
+    /// pipelines (the BCC workload chains six Pregel jobs).
+    pub fn merge(&mut self, other: RunStats) {
+        self.superstep_stats.extend(other.superstep_stats);
+        self.num_workers = self.num_workers.max(other.num_workers);
+        self.halt_reason = other.halt_reason;
+        self.wall += other.wall;
+        match (&mut self.per_vertex, other.per_vertex) {
+            (Some(mine), Some(theirs)) => mine.merge_max(&theirs),
+            (slot @ None, Some(theirs)) => *slot = Some(theirs),
+            _ => {}
+        }
+    }
+
+    /// An empty stats value to fold pipeline stages into.
+    pub fn empty(num_workers: usize) -> RunStats {
+        RunStats {
+            superstep_stats: Vec::new(),
+            num_workers,
+            halt_reason: HaltReason::Converged,
+            per_vertex: None,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(workers: Vec<WorkerStats>) -> SuperstepStats {
+        SuperstepStats {
+            workers,
+            active: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+        }
+    }
+
+    #[test]
+    fn superstep_maxima() {
+        let s = stats_with(vec![
+            WorkerStats {
+                work: 10,
+                sent: 3,
+                received: 9,
+                wall: Duration::ZERO,
+            },
+            WorkerStats {
+                work: 7,
+                sent: 8,
+                received: 2,
+                wall: Duration::ZERO,
+            },
+        ]);
+        assert_eq!(s.max_work(), 10);
+        assert_eq!(s.max_h(), 9);
+        assert_eq!(s.total_work(), 17);
+    }
+
+    #[test]
+    fn empty_superstep() {
+        let s = stats_with(vec![]);
+        assert_eq!(s.max_work(), 0);
+        assert_eq!(s.max_h(), 0);
+    }
+
+    #[test]
+    fn merge_concatenates_and_maxes() {
+        let mut a = RunStats::empty(2);
+        a.superstep_stats.push(stats_with(vec![WorkerStats {
+            work: 5,
+            sent: 1,
+            received: 1,
+            wall: Duration::ZERO,
+        }]));
+        a.per_vertex = Some(PerVertexStats {
+            max_sent: vec![1, 2],
+            max_received: vec![0, 0],
+            max_work: vec![3, 3],
+            max_state_bytes: vec![8, 8],
+        });
+        let mut b = RunStats::empty(2);
+        b.superstep_stats.push(stats_with(vec![WorkerStats {
+            work: 9,
+            sent: 2,
+            received: 2,
+            wall: Duration::ZERO,
+        }]));
+        b.per_vertex = Some(PerVertexStats {
+            max_sent: vec![4, 1],
+            max_received: vec![1, 1],
+            max_work: vec![1, 9],
+            max_state_bytes: vec![16, 4],
+        });
+        b.halt_reason = HaltReason::MasterHalted;
+        a.merge(b);
+        assert_eq!(a.supersteps(), 2);
+        assert_eq!(a.total_work(), 14);
+        assert_eq!(a.halt_reason, HaltReason::MasterHalted);
+        let pv = a.per_vertex.unwrap();
+        assert_eq!(pv.max_sent, vec![4, 2]);
+        assert_eq!(pv.max_work, vec![3, 9]);
+        assert_eq!(pv.max_state_bytes, vec![16, 8]);
+    }
+
+    #[test]
+    fn totals_over_run() {
+        let mut r = RunStats::empty(1);
+        for i in 0..3u64 {
+            r.superstep_stats.push(SuperstepStats {
+                workers: vec![WorkerStats {
+                    work: i + 1,
+                    sent: i,
+                    received: i,
+                    wall: Duration::ZERO,
+                }],
+                active: 1,
+                messages_sent: i,
+                messages_delivered: i,
+            });
+        }
+        assert_eq!(r.supersteps(), 3);
+        assert_eq!(r.total_messages(), 3);
+        assert_eq!(r.total_work(), 6);
+    }
+}

@@ -1,0 +1,270 @@
+//! Row 5: biconnected components by Hopcroft-Tarjan DFS \[8\], `O(m + n)`,
+//! implemented iteratively with an explicit edge stack.
+//!
+//! The result is a partition of the *edges*: two edges share a block id iff
+//! they lie on a common simple cycle (bridges form singleton blocks).
+
+use crate::work::Work;
+use std::collections::HashMap;
+use vcgp_graph::{Graph, VertexId};
+
+/// Result of the BCC baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BccResult {
+    /// Block id per logical edge, indexed in `g.edges()` order.
+    pub block_of_edge: Vec<u32>,
+    /// Number of biconnected components.
+    pub count: usize,
+    /// Articulation vertices.
+    pub articulation: Vec<VertexId>,
+    /// Operation count.
+    pub work: u64,
+}
+
+/// Assigns logical edge ids (in `g.edges()` order) to every CSR arc.
+///
+/// # Panics
+/// Panics on self-loops or parallel edges (the BCC workloads run on simple
+/// graphs).
+pub(crate) fn arc_edge_ids(g: &Graph) -> (Vec<u32>, usize) {
+    let mut id_of: HashMap<(VertexId, VertexId), u32> = HashMap::new();
+    for (eid, (u, v, _)) in g.edges().enumerate() {
+        assert!(u != v, "self-loops are not supported");
+        let prev = id_of.insert((u, v), eid as u32);
+        assert!(prev.is_none(), "parallel edges are not supported");
+    }
+    let mut arc_ids = Vec::with_capacity(g.num_arcs());
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            arc_ids.push(id_of[&key]);
+        }
+    }
+    (arc_ids, id_of.len())
+}
+
+/// Hopcroft-Tarjan biconnected components (iterative).
+pub fn bcc(g: &Graph) -> BccResult {
+    assert!(!g.is_directed(), "bcc requires an undirected graph");
+    let n = g.num_vertices();
+    let (arc_ids, m) = arc_edge_ids(g);
+    // Per-vertex CSR offsets to index arc_ids alongside neighbors.
+    let mut arc_offset = vec![0usize; n + 1];
+    for v in 0..n {
+        arc_offset[v + 1] = arc_offset[v] + g.out_degree(v as VertexId);
+    }
+
+    const UNSET: u32 = u32::MAX;
+    const NO_EDGE: u32 = u32::MAX;
+    let mut disc = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut block_of_edge = vec![UNSET; m];
+    let mut articulation_flag = vec![false; n];
+    let mut timer = 0u32;
+    let mut blocks = 0u32;
+    let mut work = Work::new();
+    let mut edge_stack: Vec<u32> = Vec::new();
+    // (vertex, parent edge id, next neighbor offset, child block count).
+    let mut frames: Vec<(VertexId, u32, usize, u32)> = Vec::new();
+
+    for s in 0..n as VertexId {
+        work.charge(1);
+        if disc[s as usize] != UNSET {
+            continue;
+        }
+        disc[s as usize] = timer;
+        low[s as usize] = timer;
+        timer += 1;
+        frames.push((s, NO_EDGE, 0, 0));
+        while let Some(&mut (v, pe, ref mut ei, ref mut child_blocks)) = frames.last_mut() {
+            let neighbors = g.out_neighbors(v);
+            if *ei < neighbors.len() {
+                let u = neighbors[*ei];
+                let eid = arc_ids[arc_offset[v as usize] + *ei];
+                *ei += 1;
+                work.charge(1);
+                if eid == pe {
+                    continue; // the tree edge back to the parent
+                }
+                if disc[u as usize] == UNSET {
+                    edge_stack.push(eid);
+                    disc[u as usize] = timer;
+                    low[u as usize] = timer;
+                    timer += 1;
+                    frames.push((u, eid, 0, 0));
+                } else if disc[u as usize] < disc[v as usize] {
+                    // Back edge to an ancestor.
+                    edge_stack.push(eid);
+                    low[v as usize] = low[v as usize].min(disc[u as usize]);
+                }
+                // disc[u] > disc[v]: forward view of an edge already handled
+                // from the descendant's side — skip.
+            } else {
+                let completed_children = *child_blocks;
+                frames.pop();
+                work.charge(1);
+                let parent_depth = frames.len();
+                if let Some(&mut (p, _, _, ref mut p_children)) = frames.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[p as usize] {
+                        // p separates v's subtree: close one block.
+                        *p_children += 1;
+                        let block = blocks;
+                        blocks += 1;
+                        loop {
+                            let e = edge_stack.pop().expect("edge stack underflow");
+                            block_of_edge[e as usize] = block;
+                            work.charge(1);
+                            if e == pe {
+                                break;
+                            }
+                        }
+                        // A non-root parent with any separated child is an
+                        // articulation point; the root needs >= 2 blocks.
+                        let p_is_root = parent_depth == 1;
+                        if !p_is_root || *p_children >= 2 {
+                            articulation_flag[p as usize] = true;
+                        }
+                    }
+                } else {
+                    // v was a DFS root; its edge stack must already be empty
+                    // because each child closed its block on the way up.
+                    debug_assert!(edge_stack.is_empty());
+                    let _ = completed_children;
+                }
+            }
+        }
+    }
+    debug_assert!(block_of_edge.iter().all(|&b| b != UNSET));
+    let articulation = (0..n as VertexId)
+        .filter(|&v| articulation_flag[v as usize])
+        .collect();
+    BccResult {
+        block_of_edge,
+        count: blocks as usize,
+        articulation,
+        work: work.count(),
+    }
+}
+
+/// Canonicalizes an edge partition for comparisons: blocks as sorted edge
+/// lists, sorted among themselves.
+pub fn canonical_blocks(block_of_edge: &[u32]) -> Vec<Vec<u32>> {
+    let mut by_block: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (e, &b) in block_of_edge.iter().enumerate() {
+        by_block.entry(b).or_default().push(e as u32);
+    }
+    let mut blocks: Vec<Vec<u32>> = by_block.into_values().collect();
+    for b in blocks.iter_mut() {
+        b.sort_unstable();
+    }
+    blocks.sort();
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn cycle_is_one_block() {
+        let r = bcc(&generators::cycle(6));
+        assert_eq!(r.count, 1);
+        assert!(r.articulation.is_empty());
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let r = bcc(&generators::path(5));
+        assert_eq!(r.count, 4);
+        assert_eq!(r.articulation, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Triangles 0-1-2 and 2-3-4 share vertex 2.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        b.add_edge(2, 4);
+        let g = b.build();
+        let r = bcc(&g);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.articulation, vec![2]);
+        // Edges of each triangle share a block.
+        let blocks = canonical_blocks(&r.block_of_edge);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn bridge_between_cycles() {
+        // 0-1-2-0, edge 2-3, 3-4-5-3.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        b.add_edge(5, 3);
+        let r = bcc(&b.build());
+        assert_eq!(r.count, 3);
+        let mut arts = r.articulation.clone();
+        arts.sort_unstable();
+        assert_eq!(arts, vec![2, 3]);
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let r = bcc(&generators::star(6));
+        assert_eq!(r.count, 5);
+        assert_eq!(r.articulation, vec![0]);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(4, 5);
+        let r = bcc(&b.build());
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn complete_graph_single_block() {
+        let r = bcc(&generators::complete(7));
+        assert_eq!(r.count, 1);
+        assert!(r.articulation.is_empty());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        let r = bcc(&generators::path(150_000));
+        assert_eq!(r.count, 149_999);
+    }
+
+    #[test]
+    fn blocks_cover_all_edges_exactly_once() {
+        let g = generators::gnm_connected(60, 110, 3);
+        let r = bcc(&g);
+        let blocks = canonical_blocks(&r.block_of_edge);
+        let total: usize = blocks.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(blocks.len(), r.count);
+    }
+
+    #[test]
+    fn work_linear() {
+        let w1 = bcc(&generators::gnm_connected(1000, 3000, 2)).work;
+        let w2 = bcc(&generators::gnm_connected(2000, 6000, 2)).work;
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((1.6..2.5).contains(&ratio), "ratio {ratio}");
+    }
+}

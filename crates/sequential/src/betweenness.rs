@@ -1,0 +1,157 @@
+//! Row 15: betweenness centrality on unweighted graphs by Brandes'
+//! algorithm \[1\], `O(mn)`.
+//!
+//! Convention: raw dependency accumulation over all ordered source vertices
+//! — each unordered pair contributes from both of its endpoints on
+//! undirected graphs, and endpoints are excluded. The vertex-centric
+//! implementation uses the same convention, so scores compare exactly.
+
+use crate::work::Work;
+use std::collections::VecDeque;
+use vcgp_graph::{Graph, VertexId};
+
+/// Result of the betweenness baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetweennessResult {
+    /// Centrality score per vertex.
+    pub scores: Vec<f64>,
+    /// Operation count.
+    pub work: u64,
+}
+
+/// Brandes' algorithm from every source (or a subset, for sampled
+/// benchmarking — pass `None` for all sources).
+pub fn betweenness(g: &Graph, sources: Option<&[VertexId]>) -> BetweennessResult {
+    let n = g.num_vertices();
+    let mut work = Work::new();
+    let mut scores = vec![0.0f64; n];
+    let all: Vec<VertexId>;
+    let sources = match sources {
+        Some(s) => s,
+        None => {
+            all = (0..n as VertexId).collect();
+            &all
+        }
+    };
+    let mut dist = vec![i64::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        dist.iter_mut().for_each(|d| *d = i64::MAX);
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        order.clear();
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            work.charge(1);
+            order.push(u);
+            let du = dist[u as usize];
+            for &v in g.out_neighbors(u) {
+                work.charge(1);
+                if dist[v as usize] == i64::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == du + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        // Back-propagate dependencies in reverse BFS order.
+        for &u in order.iter().rev() {
+            work.charge(1);
+            let du = dist[u as usize];
+            for &v in g.out_neighbors(u) {
+                work.charge(1);
+                if dist[v as usize] == du + 1 {
+                    delta[u as usize] +=
+                        sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                }
+            }
+            if u != s {
+                scores[u as usize] += delta[u as usize];
+            }
+        }
+    }
+    BetweennessResult {
+        scores,
+        work: work.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn path_center_dominates() {
+        // Path 0-1-2-3-4: vertex 2 lies on the most shortest paths.
+        let r = betweenness(&generators::path(5), None);
+        // Raw convention counts ordered pairs: v2 covers (0,3),(0,4),(1,3),
+        // (1,4),(3,0)... = 2 * |{(0,3),(0,4),(1,3),(1,4)}| = 8.
+        assert_eq!(r.scores[2], 8.0);
+        assert_eq!(r.scores[0], 0.0);
+        assert_eq!(r.scores[1], 6.0);
+        assert_eq!(r.scores, vec![0.0, 6.0, 8.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_covers_all_pairs() {
+        let r = betweenness(&generators::star(6), None);
+        // 5 leaves: ordered leaf pairs = 5*4 = 20, all through the center.
+        assert_eq!(r.scores[0], 20.0);
+        assert!(r.scores[1..].iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn cycle_symmetric() {
+        let r = betweenness(&generators::cycle(8), None);
+        let first = r.scores[0];
+        assert!(first > 0.0);
+        assert!(r.scores.iter().all(|&s| (s - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn complete_graph_zero() {
+        let r = betweenness(&generators::complete(6), None);
+        assert!(r.scores.iter().all(|&s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn split_shortest_paths() {
+        // Two disjoint paths 0-1-3 and 0-2-3: each middle vertex carries
+        // half of the (0,3) and (3,0) dependencies.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 3);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        let r = betweenness(&b.build(), None);
+        assert!((r.scores[1] - 1.0).abs() < 1e-12);
+        assert!((r.scores[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_sources_subset() {
+        let g = generators::gnm_connected(40, 90, 3);
+        let full = betweenness(&g, None);
+        let partial = betweenness(&g, Some(&[0, 1, 2]));
+        assert!(partial.work < full.work);
+        let sum_partial: f64 = partial.scores.iter().sum();
+        let sum_full: f64 = full.scores.iter().sum();
+        assert!(sum_partial <= sum_full + 1e-9);
+    }
+
+    #[test]
+    fn work_scales_with_mn() {
+        let w1 = betweenness(&generators::gnm_connected(100, 300, 1), None).work;
+        let w2 = betweenness(&generators::gnm_connected(200, 600, 1), None).work;
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((3.0..5.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Row 12: graph coloring via maximal independent sets, `O(Km)`.
+//!
+//! The baseline peels the **lexicographically-first MIS** (the paper's
+//! sequential comparator): in each round, scan the remaining vertices in id
+//! order, adding a vertex when none of its already-added neighbors is in
+//! the round's MIS; color the MIS, remove it, repeat. Each round costs
+//! `O(m + n)` over the residual graph, `K` rounds total.
+
+use crate::work::Work;
+use vcgp_graph::Graph;
+
+/// Result of the coloring baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoringResult {
+    /// Color per vertex (`0..num_colors`).
+    pub colors: Vec<u32>,
+    /// Number of colors used (`K`, the number of MIS rounds).
+    pub num_colors: u32,
+    /// Operation count.
+    pub work: u64,
+}
+
+/// Lexicographically-first-MIS peeling.
+pub fn coloring_lf_mis(g: &Graph) -> ColoringResult {
+    assert!(!g.is_directed(), "coloring requires an undirected graph");
+    let n = g.num_vertices();
+    let mut colors = vec![u32::MAX; n];
+    let mut work = Work::new();
+    let mut remaining = n;
+    let mut color = 0u32;
+    let mut in_mis = vec![false; n];
+    while remaining > 0 {
+        in_mis.iter_mut().for_each(|b| *b = false);
+        for v in g.vertices() {
+            work.charge(1);
+            if colors[v as usize] != u32::MAX {
+                continue;
+            }
+            let mut blocked = false;
+            for &u in g.out_neighbors(v) {
+                work.charge(1);
+                // Only smaller-id vertices can already be in this round's
+                // MIS, but scanning all neighbors keeps the charge honest.
+                if in_mis[u as usize] {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                in_mis[v as usize] = true;
+                colors[v as usize] = color;
+                remaining -= 1;
+            }
+        }
+        color += 1;
+    }
+    ColoringResult {
+        colors,
+        num_colors: color,
+        work: work.count(),
+    }
+}
+
+/// Checks the defining invariant of MIS-peeling colorings: the coloring is
+/// proper, and every class `c` is a *maximal* independent set of the graph
+/// induced by vertices with color `>= c`. Shared with the vertex-centric
+/// tests.
+pub fn is_valid_mis_coloring(g: &Graph, colors: &[u32]) -> bool {
+    let n = g.num_vertices();
+    if colors.len() != n {
+        return false;
+    }
+    // Proper coloring.
+    for (u, v, _) in g.edges() {
+        if u != v && colors[u as usize] == colors[v as usize] {
+            return false;
+        }
+    }
+    // Maximality: a vertex of color c must have, for every c' < c, a
+    // neighbor colored c' (otherwise it could have joined class c').
+    for v in g.vertices() {
+        let c = colors[v as usize];
+        for lower in 0..c {
+            let has = g
+                .out_neighbors(v)
+                .iter()
+                .any(|&u| colors[u as usize] == lower);
+            if !has {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    #[test]
+    fn path_uses_two_colors() {
+        let r = coloring_lf_mis(&generators::path(10));
+        assert_eq!(r.num_colors, 2);
+        assert!(is_valid_mis_coloring(&generators::path(10), &r.colors));
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = generators::complete(6);
+        let r = coloring_lf_mis(&g);
+        assert_eq!(r.num_colors, 6);
+        assert!(is_valid_mis_coloring(&g, &r.colors));
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let g = generators::cycle(7);
+        let r = coloring_lf_mis(&g);
+        assert_eq!(r.num_colors, 3);
+        assert!(is_valid_mis_coloring(&g, &r.colors));
+    }
+
+    #[test]
+    fn star_needs_two() {
+        let g = generators::star(9);
+        let r = coloring_lf_mis(&g);
+        assert_eq!(r.num_colors, 2);
+        // LF: vertex 0 (center) joins the first MIS, leaves the second.
+        assert_eq!(r.colors[0], 0);
+        assert!(r.colors[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn isolated_vertices_all_first_color() {
+        let g = vcgp_graph::GraphBuilder::new(4).build();
+        let r = coloring_lf_mis(&g);
+        assert_eq!(r.num_colors, 1);
+        assert!(r.colors.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn random_graphs_valid() {
+        for seed in 0..5 {
+            let g = generators::gnm(60, 150, seed);
+            let r = coloring_lf_mis(&g);
+            assert!(is_valid_mis_coloring(&g, &r.colors), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_improper() {
+        let g = generators::path(3);
+        assert!(!is_valid_mis_coloring(&g, &[0, 0, 1]));
+        // Proper but not maximal: vertex 2 color 2 could have been 0.
+        assert!(!is_valid_mis_coloring(&g, &[0, 1, 2]));
+        assert!(is_valid_mis_coloring(&g, &[0, 1, 0]));
+    }
+}

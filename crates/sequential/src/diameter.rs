@@ -1,0 +1,159 @@
+//! Rows 1 and 17: diameter and unweighted APSP by BFS from every vertex,
+//! `O(mn)` — matching the complexity the paper lists for both baselines
+//! (Roditty-Williams-style exact computation for row 1; Chan's algorithm
+//! substituted by BFS-per-source for row 17, same `O(mn)` bound).
+
+use crate::work::Work;
+use std::collections::VecDeque;
+use vcgp_graph::{Graph, VertexId};
+
+/// Result of the diameter baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiameterResult {
+    /// The diameter `δ` (max eccentricity).
+    pub diameter: u32,
+    /// Eccentricity of every vertex.
+    pub eccentricities: Vec<u32>,
+    /// Operation count.
+    pub work: u64,
+}
+
+/// BFS levels from `src` charging one unit per visit and per scanned edge.
+fn bfs_counted(g: &Graph, src: VertexId, levels: &mut [u32], work: &mut Work) {
+    levels.iter_mut().for_each(|l| *l = u32::MAX);
+    let mut queue = VecDeque::new();
+    levels[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        work.charge(1);
+        let next = levels[u as usize] + 1;
+        for &v in g.out_neighbors(u) {
+            work.charge(1);
+            if levels[v as usize] == u32::MAX {
+                levels[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Exact diameter of a connected unweighted graph. Row 1 baseline.
+///
+/// # Panics
+/// Panics if the graph is empty or disconnected (eccentricities would be
+/// infinite).
+pub fn diameter(g: &Graph) -> DiameterResult {
+    let n = g.num_vertices();
+    assert!(n > 0, "diameter of an empty graph is undefined");
+    let mut work = Work::new();
+    let mut levels = vec![u32::MAX; n];
+    let mut ecc = vec![0u32; n];
+    let mut best = 0u32;
+    for s in 0..n as VertexId {
+        bfs_counted(g, s, &mut levels, &mut work);
+        let mut e = 0u32;
+        for &d in levels.iter() {
+            assert!(d != u32::MAX, "diameter requires a connected graph");
+            e = e.max(d);
+        }
+        ecc[s as usize] = e;
+        best = best.max(e);
+    }
+    DiameterResult {
+        diameter: best,
+        eccentricities: ecc,
+        work: work.count(),
+    }
+}
+
+/// Result of the APSP baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApspResult {
+    /// `dist[u][v]` = hop distance (`u32::MAX` if unreachable).
+    pub dist: Vec<Vec<u32>>,
+    /// Operation count.
+    pub work: u64,
+}
+
+/// All-pairs shortest paths of an unweighted graph by BFS from every
+/// source. Row 17 baseline.
+pub fn apsp(g: &Graph) -> ApspResult {
+    let n = g.num_vertices();
+    let mut work = Work::new();
+    let mut dist = Vec::with_capacity(n);
+    for s in 0..n as VertexId {
+        let mut levels = vec![u32::MAX; n];
+        bfs_counted(g, s, &mut levels, &mut work);
+        dist.push(levels);
+    }
+    ApspResult {
+        dist,
+        work: work.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(diameter(&generators::path(10)).diameter, 9);
+        assert_eq!(diameter(&generators::cycle(8)).diameter, 4);
+        assert_eq!(diameter(&generators::star(9)).diameter, 2);
+        assert_eq!(diameter(&generators::complete(5)).diameter, 1);
+        assert_eq!(diameter(&generators::grid(4, 6)).diameter, 8);
+    }
+
+    #[test]
+    fn eccentricities_of_path() {
+        let r = diameter(&generators::path(5));
+        assert_eq!(r.eccentricities, vec![4, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_property_probe() {
+        for seed in 0..4 {
+            let g = generators::gnm_connected(40, 90, seed);
+            assert_eq!(
+                diameter(&g).diameter,
+                vcgp_graph::properties::exact_diameter(&g).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_panics() {
+        diameter(&vcgp_graph::GraphBuilder::new(3).build());
+    }
+
+    #[test]
+    fn apsp_symmetric_on_undirected() {
+        let g = generators::gnm_connected(25, 50, 2);
+        let r = apsp(&g);
+        for u in 0..25 {
+            assert_eq!(r.dist[u][u], 0);
+            for v in 0..25 {
+                assert_eq!(r.dist[u][v], r.dist[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_work_scales_with_mn() {
+        let w1 = apsp(&generators::gnm_connected(100, 300, 1)).work;
+        let w2 = apsp(&generators::gnm_connected(200, 600, 1)).work;
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((3.0..5.5).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn apsp_directed_reachability() {
+        let g = generators::directed_path(4);
+        let r = apsp(&g);
+        assert_eq!(r.dist[0][3], 3);
+        assert_eq!(r.dist[3][0], u32::MAX);
+    }
+}

@@ -1,0 +1,248 @@
+//! Operation counting utilities shared by the baselines.
+
+/// A deterministic operation counter. One unit ≈ one elementary step
+/// (vertex visit, edge scan, heap sift, pointer hop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work(u64);
+
+impl Work {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Work(0)
+    }
+
+    /// Charges `units` operations.
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.0 += units;
+    }
+
+    /// The accumulated count.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0
+    }
+
+    /// The standard charge for comparison-sorting `n` items:
+    /// `n * ceil(log2 n)`.
+    pub fn sort_cost(n: usize) -> u64 {
+        if n <= 1 {
+            return n as u64;
+        }
+        let log = (usize::BITS - (n - 1).leading_zeros()) as u64;
+        n as u64 * log
+    }
+}
+
+/// A binary min-heap keyed by `f64` that charges one work unit per element
+/// move during sift operations, capturing the `log n` factor of
+/// priority-queue algorithms (Dijkstra, Prim) in the measured work.
+#[derive(Debug, Default)]
+pub struct CountingHeap<T> {
+    items: Vec<(f64, T)>,
+}
+
+impl<T> CountingHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        CountingHeap { items: Vec::new() }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes `(key, value)`, charging sift-up moves to `work`.
+    pub fn push(&mut self, key: f64, value: T, work: &mut Work) {
+        self.items.push((key, value));
+        let mut i = self.items.len() - 1;
+        work.charge(1);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[parent].0 <= self.items[i].0 {
+                break;
+            }
+            self.items.swap(parent, i);
+            work.charge(1);
+            i = parent;
+        }
+    }
+
+    /// Pops the minimum-key item, charging sift-down moves to `work`.
+    pub fn pop(&mut self, work: &mut Work) -> Option<(f64, T)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        work.charge(1);
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let top = self.items.pop();
+        let len = self.items.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < len && self.items[l].0 < self.items[smallest].0 {
+                smallest = l;
+            }
+            if r < len && self.items[r].0 < self.items[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.items.swap(i, smallest);
+            work.charge(1);
+            i = smallest;
+        }
+        top
+    }
+}
+
+/// Union-find with union-by-rank and path compression, charging one unit
+/// per parent hop — measured work tracks `α(m, n)` amortized behaviour.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `v`'s set, with path compression.
+    pub fn find(&mut self, v: u32, work: &mut Work) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            work.charge(1);
+            root = self.parent[root as usize];
+        }
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        work.charge(1);
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: u32, b: u32, work: &mut Work) -> bool {
+        let (ra, rb) = (self.find(a, work), self.find(b, work));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        work.charge(1);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_cost_values() {
+        assert_eq!(Work::sort_cost(0), 0);
+        assert_eq!(Work::sort_cost(1), 1);
+        assert_eq!(Work::sort_cost(2), 2);
+        assert_eq!(Work::sort_cost(8), 24);
+        assert_eq!(Work::sort_cost(9), 36);
+    }
+
+    #[test]
+    fn heap_sorts() {
+        let mut h = CountingHeap::new();
+        let mut w = Work::new();
+        for &k in &[5.0, 1.0, 4.0, 2.0, 3.0] {
+            h.push(k, k as u32, &mut w);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = h.pop(&mut w) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(w.count() >= 10, "heap ops must be charged");
+    }
+
+    #[test]
+    fn heap_duplicate_keys() {
+        let mut h = CountingHeap::new();
+        let mut w = Work::new();
+        h.push(1.0, 'a', &mut w);
+        h.push(1.0, 'b', &mut w);
+        assert_eq!(h.len(), 2);
+        assert!(h.pop(&mut w).is_some());
+        assert!(h.pop(&mut w).is_some());
+        assert!(h.pop(&mut w).is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn heap_work_grows_logarithmically() {
+        let cost = |n: usize| {
+            let mut h = CountingHeap::new();
+            let mut w = Work::new();
+            for i in 0..n {
+                h.push((n - i) as f64, i, &mut w);
+            }
+            while h.pop(&mut w).is_some() {}
+            w.count() as f64 / n as f64
+        };
+        // Per-item cost should grow with log n but stay well below linear.
+        let small = cost(256);
+        let large = cost(4096);
+        assert!(large > small);
+        assert!(large < small * 3.0);
+    }
+
+    #[test]
+    fn dsu_unions_and_finds() {
+        let mut d = Dsu::new(6);
+        let mut w = Work::new();
+        assert!(d.union(0, 1, &mut w));
+        assert!(d.union(2, 3, &mut w));
+        assert!(!d.union(1, 0, &mut w));
+        assert_ne!(d.find(0, &mut w), d.find(2, &mut w));
+        assert!(d.union(1, 3, &mut w));
+        assert_eq!(d.find(0, &mut w), d.find(2, &mut w));
+        assert!(w.count() > 0);
+    }
+
+    #[test]
+    fn dsu_path_compression_flattens() {
+        let mut d = Dsu::new(8);
+        let mut w = Work::new();
+        for i in 0..7 {
+            d.union(i, i + 1, &mut w);
+        }
+        let root = d.find(0, &mut w);
+        // After compression a second find is a couple of hops at most.
+        let before = w.count();
+        let again = d.find(0, &mut w);
+        assert_eq!(root, again);
+        assert!(w.count() - before <= 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! `vcgp` — Vertex-Centric Graph Processing: the Good, the Bad, and the Ugly.
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! Arijit Khan's EDBT 2017 benchmark study. See the individual crates:
+//!
+//! * [`graph`] — graph structures, deterministic generators, IO;
+//! * [`pregel`] — the instrumented Pregel-style BSP engine;
+//! * [`algorithms`] — the twenty vertex-centric algorithms of Table 1;
+//! * [`sequential`] — the best-known sequential baselines;
+//! * [`core`] — the BSP cost model, time-processor product, BPPA checker,
+//!   complexity fitting, and the Table 1 benchmark runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vcgp::graph::generators;
+//! use vcgp::pregel::PregelConfig;
+//! use vcgp::algorithms::cc_hashmin;
+//!
+//! let g = generators::gnm_connected(1_000, 3_000, 42);
+//! let run = cc_hashmin::run(&g, &PregelConfig::default());
+//! assert!(run.components.iter().all(|&c| c == 0)); // connected: color 0
+//! println!("supersteps: {}", run.stats.supersteps());
+//! ```
+
+pub use vcgp_algorithms as algorithms;
+pub use vcgp_core as core;
+pub use vcgp_graph as graph;
+pub use vcgp_pregel as pregel;
+pub use vcgp_sequential as sequential;

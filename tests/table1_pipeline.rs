@@ -1,0 +1,63 @@
+//! End-to-end test of the Table 1 benchmark pipeline at quick scale:
+//! the runner completes for every row, reports render, and the rows whose
+//! verdicts are robust even at tiny sizes keep them.
+
+use vcgp::core::{benchmark, report, Scale, Workload};
+use vcgp::pregel::PregelConfig;
+
+#[test]
+fn every_row_runs_at_quick_scale() {
+    let cfg = PregelConfig::default().with_workers(2);
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        let row = benchmark::run_row(w, Scale::Quick, &cfg);
+        assert_eq!(row.measurements.len(), w.sizes(Scale::Quick).len());
+        for m in &row.measurements {
+            assert!(m.tpp > 0.0, "{:?}", w);
+            assert!(m.seq_work > 0.0, "{:?}", w);
+        }
+        rows.push(row);
+    }
+    let table = report::render_table1(&rows);
+    assert_eq!(table.lines().count(), 22, "header + separator + 20 rows");
+    let csv = report::render_csv(&rows);
+    assert!(csv.lines().count() > 20);
+}
+
+#[test]
+fn structurally_robust_rows_keep_verdicts_at_quick_scale() {
+    // These verdicts come from strong signals (Θ(n) vs Θ(log n) gaps)
+    // that survive even the tiny quick-scale sweep.
+    let cfg = PregelConfig::default().with_workers(2);
+    for w in [Workload::CcHashMin, Workload::EulerTour, Workload::Sssp] {
+        let row = benchmark::run_row(w, Scale::Quick, &cfg);
+        assert_eq!(
+            row.more_work.yes,
+            w.expected_more_work(),
+            "{:?} more-work verdict flipped at quick scale",
+            w
+        );
+    }
+}
+
+#[test]
+fn measurements_are_reproducible() {
+    let cfg = PregelConfig::default().with_workers(2);
+    let a = Workload::CcHashMin.measure(256, &cfg);
+    let b = Workload::CcHashMin.measure(256, &cfg);
+    assert_eq!(a.tpp, b.tpp);
+    assert_eq!(a.seq_work, b.seq_work);
+    assert_eq!(a.supersteps, b.supersteps);
+    assert_eq!(a.messages, b.messages);
+}
+
+#[test]
+fn full_scale_rows_match_paper_for_headline_cases() {
+    // A slice of the full-scale run (the complete 20/20 check lives in the
+    // `table1` binary; here we pin the qualitative headline rows).
+    let cfg = PregelConfig::default().with_workers(2);
+    let euler = benchmark::run_row(Workload::EulerTour, Scale::Full, &cfg);
+    assert!(euler.matches_paper(), "row 8 is the paper's 'good' row");
+    let hashmin = benchmark::run_row(Workload::CcHashMin, Scale::Full, &cfg);
+    assert!(hashmin.matches_paper(), "row 3 is the canonical 'bad' row");
+}
