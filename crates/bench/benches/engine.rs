@@ -1,11 +1,14 @@
 //! Engine microbenches: superstep overhead, message throughput, combiner
 //! effect, and worker scaling — the substrate costs underneath every
 //! Table 1 row.
+//!
+//! Runs as a plain binary (`harness = false`) on the in-tree
+//! `vcgp-testkit` timing harness; emits `BENCH_engine.json` / `.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use vcgp_graph::generators;
 use vcgp_pregel::{Context, PregelConfig, VertexProgram};
+use vcgp_testkit::bench::{BenchmarkId, Harness, Throughput};
 
 /// Spins `rounds` empty supersteps: measures pure superstep overhead.
 struct Spin {
@@ -59,8 +62,9 @@ impl VertexProgram for FloodCombined {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
+fn main() {
+    let mut harness = Harness::new("engine");
+    let mut group = harness.group("engine");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
@@ -70,6 +74,7 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("superstep_overhead_10k_vertices_20_steps", |b| {
         b.iter(|| vcgp_pregel::run(&Spin { rounds: 20 }, &g, &PregelConfig::single_worker()));
     });
+    group.throughput(Throughput::Elements(40_000 * 2 * 5));
     for workers in [1usize, 2, 4] {
         group.bench_with_input(
             BenchmarkId::new("flood_40k_edges_5_rounds_workers", workers),
@@ -85,7 +90,5 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| vcgp_pregel::run(&FloodCombined { rounds: 5 }, &g, &cfg));
     });
     group.finish();
+    harness.finish().expect("writing bench reports");
 }
-
-criterion_group!(engine, bench_engine);
-criterion_main!(engine);

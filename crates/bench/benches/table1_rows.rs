@@ -1,24 +1,24 @@
-//! Criterion wall-time benches, one group per Table 1 row: the
-//! vertex-centric implementation versus its sequential baseline on the
-//! row's input family at quick sizes.
+//! Wall-time benches, one group per Table 1 row: the vertex-centric
+//! implementation versus its sequential baseline on the row's input family
+//! at quick sizes.
 //!
 //! These complement the deterministic operation-count benchmark (`table1`
 //! binary): the operation counts drive the paper's verdicts; the wall
 //! times sanity-check that the measured work models real cost.
+//!
+//! Runs as a plain binary (`harness = false`) on the in-tree
+//! `vcgp-testkit` timing harness; emits `BENCH_table1_rows.json` / `.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use vcgp_core::{Scale, Workload};
 use vcgp_pregel::PregelConfig;
+use vcgp_testkit::bench::{BenchmarkId, Harness};
 
-fn configure(c: &mut Criterion) -> &mut Criterion {
-    c
-}
-
-fn bench_rows(c: &mut Criterion) {
+fn main() {
     let config = PregelConfig::default().with_workers(2);
+    let mut harness = Harness::new("table1_rows");
     for w in Workload::ALL {
-        let mut group = c.benchmark_group(format!("row{:02}_{}", w.row(), slug(w)));
+        let mut group = harness.group(&format!("row{:02}_{}", w.row(), slug(w)));
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))
@@ -30,6 +30,7 @@ fn bench_rows(c: &mut Criterion) {
         }
         group.finish();
     }
+    harness.finish().expect("writing bench reports");
 }
 
 fn slug(w: Workload) -> &'static str {
@@ -56,14 +57,3 @@ fn slug(w: Workload) -> &'static str {
         Workload::StrongSim => "strong_sim",
     }
 }
-
-criterion_group! {
-    name = rows;
-    config = {
-        let mut c = Criterion::default();
-        configure(&mut c);
-        c
-    };
-    targets = bench_rows
-}
-criterion_main!(rows);

@@ -9,8 +9,10 @@
 //! * `sweeps` — per-row scaling sweeps (supersteps, messages, TPP ratio)
 //!   for the quantities each row's analysis hinges on.
 //!
-//! The criterion benches (`benches/`) time the vertex-centric runs against
-//! their sequential baselines at Quick scale.
+//! The timing benches (`benches/`, plain binaries on the in-tree
+//! `vcgp-testkit` harness) time the vertex-centric runs against their
+//! sequential baselines at Quick scale and emit `BENCH_*.json` / `.md`
+//! reports.
 
 use std::time::Instant;
 

@@ -17,7 +17,7 @@ use vcgp_pregel::{PregelConfig, RunStats};
 /// Sweep scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// Small sizes for CI / criterion benches.
+    /// Small sizes for CI / the in-tree timing benches.
     Quick,
     /// The sizes used to regenerate Table 1 in EXPERIMENTS.md.
     Full,

@@ -156,10 +156,10 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
 /// (random attachment) plus `m - (n - 1)` extra distinct edges.
 ///
 /// # Panics
-/// Panics if `m < n - 1`.
+/// Panics if `n == 0` or `m < n - 1`.
 pub fn gnm_connected(n: usize, m: usize, seed: u64) -> Graph {
-    assert!(n >= 1);
-    assert!(m + 1 >= n, "connected gnm requires m >= n - 1");
+    assert!(n >= 1, "gnm_connected requires n >= 1");
+    assert!(m >= n - 1, "gnm_connected requires m >= n - 1");
     let max_edges = if n >= 2 { n * (n - 1) / 2 } else { 0 };
     assert!(m <= max_edges || n == 1, "gnm_connected: m too large");
     let mut rng = SplitMix64::new(seed ^ 0x636F_6E6E_6563_7400);
@@ -522,6 +522,24 @@ mod tests {
             assert_eq!(g.num_edges(), 150);
             assert_eq!(connected_components(&g).1, 1);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n - 1")]
+    fn gnm_connected_rejects_too_few_edges() {
+        gnm_connected(5, 3, 1);
+    }
+
+    #[test]
+    fn gnm_connected_boundary_edge_counts() {
+        // Exactly m = n - 1 yields a spanning tree; n = 1, m = 0 is the
+        // smallest valid input of the documented contract.
+        let tree = gnm_connected(5, 4, 1);
+        assert_eq!(tree.num_edges(), 4);
+        assert_eq!(connected_components(&tree).1, 1);
+        let single = gnm_connected(1, 0, 1);
+        assert_eq!(single.num_vertices(), 1);
+        assert_eq!(single.num_edges(), 0);
     }
 
     #[test]

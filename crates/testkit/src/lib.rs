@@ -1,0 +1,23 @@
+//! `vcgp-testkit` — in-tree property testing and bench timing.
+//!
+//! The workspace has a zero-external-dependency policy: benchmark inputs and
+//! test streams must be reproducible across platforms and toolchains, and the
+//! build must succeed offline from an empty cargo registry (see
+//! `crates/graph/src/rng.rs` for the original rationale). This crate extends
+//! that policy to the correctness tooling itself:
+//!
+//! * [`prop`] — a minimal property-testing framework: [`prop::Strategy`]
+//!   driven by the workspace's own `SplitMix64`, combinators (`prop_map`,
+//!   tuples, integer ranges, [`prop::any_u64`]), a configurable case count,
+//!   greedy input shrinking on failure, and the [`vcgp_props!`] macro whose
+//!   failure reports include a seed that replays the counterexample.
+//! * [`bench`] — a criterion-style timing harness: warmup, fixed-iteration
+//!   sampling, mean/median/stddev, throughput labels, and JSON + markdown
+//!   emitters (`BENCH_<name>.json` / `BENCH_<name>.md`).
+//!
+//! Both modules use only `std` plus `vcgp-graph`'s deterministic RNG.
+
+pub mod bench;
+pub mod prop;
+
+pub use prop::{any_u64, Config, Strategy};

@@ -1,0 +1,120 @@
+//! Self-tests for the property harness: a deliberately-failing property must
+//! shrink to a small counterexample and report a seed that reproduces it,
+//! and a passing property must be deterministic across runs with the same
+//! seed.
+
+use std::cell::RefCell;
+use vcgp_testkit::prop::{any_u64, check_result, Config, Strategy};
+use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
+
+/// The property under test: fails for every n >= 17 out of [0, 100000).
+fn gte_17(input: (u64,)) -> Result<(), String> {
+    let (n,) = input;
+    if n < 17 {
+        Ok(())
+    } else {
+        Err(format!("{n} >= 17"))
+    }
+}
+
+#[test]
+fn failing_property_shrinks_to_minimal_counterexample() {
+    let config = Config::default().with_cases(64);
+    let failure = check_result("gte_17", &config, &(0u64..100_000,), gte_17).unwrap_err();
+    // Greedy raw-stream shrinking must land exactly on the smallest failing
+    // input, not just somewhere small.
+    assert_eq!(failure.minimized, "(17,)");
+    assert!(failure.shrink_steps > 0, "shrinking must have happened");
+    assert!(failure.message.contains(">= 17"));
+}
+
+#[test]
+fn failure_report_prints_replayable_seed() {
+    let config = Config::default().with_cases(64);
+    let failure = check_result("gte_17", &config, &(0u64..100_000,), gte_17).unwrap_err();
+    let report = failure.report();
+    assert!(
+        report.contains(&format!("VCGP_PROP_SEED={:#018x}", failure.case_seed)),
+        "report must name the replay seed: {report}"
+    );
+    assert!(report.contains("minimized counterexample: (17,)"));
+
+    // Re-running with the reported seed (what VCGP_PROP_SEED does) must
+    // reproduce the failure and shrink to the same counterexample.
+    let replay = Config::default().with_replay_seed(failure.case_seed);
+    let again = check_result("gte_17", &replay, &(0u64..100_000,), gte_17).unwrap_err();
+    assert_eq!(again.case_seed, failure.case_seed);
+    assert_eq!(again.minimized, "(17,)");
+}
+
+#[test]
+fn shrinking_works_through_prop_map() {
+    // The Vec is built by a mapped strategy; shrinking the entropy stream
+    // must shrink the *derived* structure to the smallest failing one.
+    let config = Config::default().with_cases(64);
+    let strat = ((0usize..64).prop_map(|n| vec![7u8; n]),);
+    let failure = check_result("long_vec", &config, &strat, |(v,): (Vec<u8>,)| {
+        if v.len() < 5 {
+            Ok(())
+        } else {
+            Err(format!("len {} >= 5", v.len()))
+        }
+    })
+    .unwrap_err();
+    assert_eq!(failure.minimized, format!("{:?}", (vec![7u8; 5],)));
+}
+
+#[test]
+fn passing_property_is_deterministic_across_runs() {
+    let collect = || {
+        let seen = RefCell::new(Vec::new());
+        let config = Config::default().with_cases(40);
+        let cases = check_result(
+            "det",
+            &config,
+            &(1usize..500, any_u64()),
+            |(n, s): (usize, u64)| {
+                seen.borrow_mut().push((n, s));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(cases, 40);
+        seen.into_inner()
+    };
+    let first = collect();
+    assert_eq!(first, collect(), "same seed must draw the same cases");
+    assert!(
+        first.windows(2).any(|w| w[0] != w[1]),
+        "cases must actually vary"
+    );
+}
+
+#[test]
+fn distinct_properties_draw_distinct_streams() {
+    let draw = |name: &str| {
+        let seen = RefCell::new(Vec::new());
+        check_result(name, &Config::default(), &(any_u64(),), |(x,): (u64,)| {
+            seen.borrow_mut().push(x);
+            Ok(())
+        })
+        .unwrap();
+        seen.into_inner()
+    };
+    assert_ne!(draw("alpha"), draw("beta"));
+}
+
+// The macro surface itself: bindings, tuple patterns, per-test case count,
+// and the early-return assertion macros.
+vcgp_props! {
+    #![cases(48)]
+
+    fn macro_smoke_addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[cases(33)]
+    fn macro_supports_tuple_patterns_and_map((lo, hi) in (0usize..10, 10usize..20)) {
+        prop_assert!(lo < hi, "lo {lo} must stay below hi {hi}");
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the vcgp workspace.
+#
+# The workspace must build, test, and bench from a cold, empty cargo
+# registry: no network, no crates.io. This script enforces that invariant
+# two ways — it runs every cargo step with --offline, and it fails if any
+# Cargo.toml reintroduces a dependency that is not an in-tree path
+# dependency (or a `workspace = true` alias of one).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+manifests=$(git ls-files '*Cargo.toml')
+
+echo "== dependency gate"
+fail=0
+if grep -nE 'proptest|criterion' $manifests; then
+    echo "error: banned external crate referenced in a Cargo.toml" >&2
+    fail=1
+fi
+nonpath=$(awk '
+    /^\[/ { in_dep = ($0 ~ /dependencies\]$/) }
+    in_dep && NF && $0 !~ /^\[/ && $0 !~ /^[[:space:]]*#/ {
+        if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+            print FILENAME ":" FNR ": " $0
+    }
+' $manifests /dev/null)
+if [ -n "$nonpath" ]; then
+    echo "error: non-path dependency declared (offline build would break):" >&2
+    echo "$nonpath" >&2
+    fail=1
+fi
+[ "$fail" -eq 0 ] || exit 1
+echo "   ok: all dependencies are in-tree path dependencies"
+
+echo "== cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "== cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "== cargo bench -p vcgp-bench --no-run --offline (benches must compile)"
+cargo bench -p vcgp-bench --no-run --offline
+
+echo "tier-1 verify: OK"

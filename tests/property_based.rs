@@ -1,16 +1,17 @@
-//! Property-based tests (proptest) over generators, the engine, and the
+//! Property-based tests (vcgp-testkit) over generators, the engine, and the
 //! algorithm invariants that must hold for *every* input, not just the
 //! seeded families.
 
-use proptest::prelude::*;
 use vcgp::algorithms as vc;
 use vcgp::graph::{generators, io, Graph, GraphBuilder, INVALID_VERTEX};
 use vcgp::pregel::PregelConfig;
 use vcgp::sequential as seq;
+use vcgp_testkit::prop::{any_u64, Strategy};
+use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
 
 /// Strategy: a random undirected simple graph from (n, edge seeds).
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, 0usize..80, any::<u64>()).prop_map(|(n, extra, seed)| {
+    (2usize..40, 0usize..80, any_u64()).prop_map(|(n, extra, seed)| {
         let max = n * (n - 1) / 2;
         generators::gnm(n, extra.min(max), seed)
     })
@@ -18,7 +19,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 /// Strategy: a random connected graph.
 fn arb_connected() -> impl Strategy<Value = Graph> {
-    (2usize..40, 0usize..60, any::<u64>()).prop_map(|(n, extra, seed)| {
+    (2usize..40, 0usize..60, any_u64()).prop_map(|(n, extra, seed)| {
         let max = n * (n - 1) / 2;
         generators::gnm_connected(n, (n - 1 + extra).min(max), seed)
     })
@@ -26,7 +27,7 @@ fn arb_connected() -> impl Strategy<Value = Graph> {
 
 /// Strategy: a random labeled digraph plus a query pattern.
 fn arb_sim_input() -> impl Strategy<Value = (Graph, Graph)> {
-    (2usize..6, 8usize..30, any::<u64>()).prop_map(|(nq, n, seed)| {
+    (2usize..6, 8usize..30, any_u64()).prop_map(|(nq, n, seed)| {
         let q = generators::query_pattern(nq, 2, 3, seed);
         let m = (3 * n).min(n * (n - 1));
         let d = generators::labeled_digraph(n, m, 3, seed ^ 0xABCD);
@@ -34,10 +35,9 @@ fn arb_sim_input() -> impl Strategy<Value = (Graph, Graph)> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+vcgp_props! {
+    #![cases(32)]
 
-    #[test]
     fn csr_well_formed(g in arb_graph()) {
         // Degree sum equals arc count; adjacency sorted; mirror edges exist.
         let degree_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
@@ -51,7 +51,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn edge_list_io_roundtrips(g in arb_graph()) {
         let mut buf = Vec::new();
         io::write_edge_list(&g, &mut buf).unwrap();
@@ -59,14 +58,12 @@ proptest! {
         prop_assert_eq!(back, g);
     }
 
-    #[test]
     fn hashmin_equals_bfs_components(g in arb_graph()) {
         let r = vc::cc_hashmin::run(&g, &PregelConfig::single_worker());
         let sq = seq::connectivity::cc(&g);
         prop_assert_eq!(r.components, sq.components);
     }
 
-    #[test]
     fn sv_equals_bfs_components_and_forest_spans(g in arb_graph()) {
         let r = vc::cc_sv::run(&g, &PregelConfig::single_worker());
         let sq = seq::connectivity::cc(&g);
@@ -74,30 +71,26 @@ proptest! {
         prop_assert_eq!(r.tree_edges.len(), g.num_vertices() - sq.count);
     }
 
-    #[test]
     fn diameter_matches_bfs(g in arb_connected()) {
         let r = vc::diameter::run(&g, &PregelConfig::single_worker());
         let sq = seq::diameter::diameter(&g);
         prop_assert_eq!(r.diameter, sq.diameter);
     }
 
-    #[test]
-    fn mis_coloring_always_valid(g in arb_graph(), seed in any::<u64>()) {
+    fn mis_coloring_always_valid(g in arb_graph(), seed in any_u64()) {
         let cfg = PregelConfig::single_worker().with_seed(seed);
         let r = vc::coloring_mis::run(&g, &cfg);
         prop_assert!(r.colors.iter().all(|&c| c != u32::MAX));
         prop_assert!(seq::coloring::is_valid_mis_coloring(&g, &r.colors));
     }
 
-    #[test]
-    fn matching_always_valid_and_maximal(g in arb_graph(), wseed in any::<u64>()) {
+    fn matching_always_valid_and_maximal(g in arb_graph(), wseed in any_u64()) {
         let w = generators::with_random_weights(&g, 0.0, 1.0, wseed, true);
         let r = vc::matching_preis::run(&w, &PregelConfig::single_worker());
         prop_assert!(seq::matching::is_maximal_matching(&w, &r.mate));
     }
 
-    #[test]
-    fn sssp_triangle_inequality(g in arb_connected(), wseed in any::<u64>()) {
+    fn sssp_triangle_inequality(g in arb_connected(), wseed in any_u64()) {
         let w = generators::with_random_weights(&g, 0.1, 2.0, wseed, false);
         let r = vc::sssp::run(&w, 0, &PregelConfig::single_worker());
         prop_assert_eq!(r.dist[0], 0.0);
@@ -107,7 +100,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn simulation_containment_ladder((q, d) in arb_sim_input()) {
         let cfg = PregelConfig::single_worker();
         let gs = vc::graph_simulation::run(&q, &d, &cfg);
@@ -128,8 +120,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn list_ranking_prefix_sums(n in 2usize..120, seed in any::<u64>(), shift in 0u64..9) {
+    fn list_ranking_prefix_sums(n in 2usize..120, seed in any_u64(), shift in 0u64..9) {
         let mut order: Vec<u32> = (0..n as u32).collect();
         vcgp::graph::SplitMix64::new(seed).shuffle(&mut order);
         let mut preds = vec![INVALID_VERTEX; n];
@@ -141,8 +132,7 @@ proptest! {
         prop_assert_eq!(r.sums, vc::list_ranking::sequential_sums(&preds, &vals));
     }
 
-    #[test]
-    fn tree_orders_are_dfs_consistent(n in 2usize..60, seed in any::<u64>()) {
+    fn tree_orders_are_dfs_consistent(n in 2usize..60, seed in any_u64()) {
         let t = generators::random_tree(n, seed);
         let r = vc::tree_order::run(&t, 0, &PregelConfig::single_worker());
         let sq = seq::tree::tree_order(&t, 0);
@@ -150,7 +140,6 @@ proptest! {
         prop_assert_eq!(r.post, sq.post);
     }
 
-    #[test]
     fn parallel_engine_is_deterministic(g in arb_graph(), workers in 2usize..6) {
         let a = vc::cc_hashmin::run(&g, &PregelConfig::single_worker());
         let b = vc::cc_hashmin::run(&g, &PregelConfig::default().with_workers(workers));
@@ -158,7 +147,6 @@ proptest! {
         prop_assert_eq!(a.stats.total_messages(), b.stats.total_messages());
     }
 
-    #[test]
     fn bcc_partition_valid(g in arb_connected()) {
         let r = vc::bcc::run(&g, &PregelConfig::single_worker());
         let sq = seq::bcc::bcc(&g);
@@ -169,8 +157,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn scc_is_equivalence_relation(n in 4usize..30, k in 1usize..4, seed in any::<u64>()) {
+    fn scc_is_equivalence_relation(n in 4usize..30, k in 1usize..4, seed in any_u64()) {
         let n = n.max(2 * k);
         let g = generators::cyclic_digraph(n, k, n / 3, seed);
         let r = vc::scc::run(&g, &PregelConfig::single_worker());
