@@ -9,17 +9,22 @@
 //! * [`workload`] — the twenty Table 1 rows: metadata, paper verdicts,
 //!   deterministic input families, and measurement runners;
 //! * [`benchmark`] — the Table 1 driver producing per-row verdicts;
-//! * [`report`] — markdown rendering of the regenerated Table 1.
+//! * [`report`] — markdown rendering of the regenerated Table 1;
+//! * [`service`] — the serving path: precondition checks and bounded-budget
+//!   execution of any workload against a resident graph (used by
+//!   `vcgp-stress`).
 
 pub mod benchmark;
 pub mod bppa;
 pub mod complexity;
 pub mod cost;
 pub mod report;
+pub mod service;
 pub mod workload;
 
 pub use benchmark::{run_row, run_table1, RowResult, Verdict};
 pub use bppa::{BppaReport, PropertyVerdict};
 pub use complexity::{ComplexityClass, Fit, GraphParams};
 pub use cost::BspCostModel;
+pub use service::{run_workload, supported, supported_workloads, ServiceRun, Unsupported};
 pub use workload::{Measurement, Scale, Workload};

@@ -28,7 +28,9 @@ use vcgp_graph::{Graph, VertexId};
 #[derive(Debug, Clone)]
 pub struct PregelConfig {
     /// Number of worker threads `p` (the processor count of the BSP cost
-    /// model). Defaults to the machine parallelism, capped at 8.
+    /// model). Defaults to the machine parallelism, capped at 8; the
+    /// `VCGP_WORKERS` environment variable overrides the default (so
+    /// service deployments can use every core without code changes).
     pub num_workers: usize,
     /// Hard cap on supersteps (a safety net; converging algorithms never
     /// reach it).
@@ -42,11 +44,31 @@ pub struct PregelConfig {
     pub partitioning: Partitioning,
 }
 
+/// Hard sanity cap on `VCGP_WORKERS`: more threads than this is never a
+/// deliberate configuration on current hardware.
+const MAX_ENV_WORKERS: usize = 1024;
+
+impl PregelConfig {
+    /// Resolves the default worker count from an optional `VCGP_WORKERS`
+    /// value: a valid positive integer (at most [`MAX_ENV_WORKERS`]) wins;
+    /// anything else — unset, unparsable, zero, absurd — falls back to
+    /// `fallback`. Split out (and public) so the validation is testable
+    /// without mutating process-global environment state.
+    pub fn workers_from_env(value: Option<&str>, fallback: usize) -> usize {
+        value
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| (1..=MAX_ENV_WORKERS).contains(&w))
+            .unwrap_or(fallback)
+    }
+}
+
 impl Default for PregelConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism()
+        let hardware = std::thread::available_parallelism()
             .map(|p| p.get().min(8))
             .unwrap_or(4);
+        let env = std::env::var("VCGP_WORKERS").ok();
+        let workers = PregelConfig::workers_from_env(env.as_deref(), hardware);
         PregelConfig {
             num_workers: workers,
             max_supersteps: 1_000_000,
@@ -786,6 +808,21 @@ mod tests {
         assert_eq!(a.0, b.0, "results must not depend on partitioning");
         assert_eq!(a.1.total_messages(), b.1.total_messages());
         assert_eq!(a.1.supersteps(), b.1.supersteps());
+    }
+
+    #[test]
+    fn workers_env_override_validates() {
+        // Valid values win over the fallback.
+        assert_eq!(PregelConfig::workers_from_env(Some("3"), 8), 3);
+        assert_eq!(PregelConfig::workers_from_env(Some(" 16 "), 8), 16);
+        assert_eq!(PregelConfig::workers_from_env(Some("1"), 8), 1);
+        // Unset, unparsable, zero, or absurd values fall back.
+        assert_eq!(PregelConfig::workers_from_env(None, 8), 8);
+        assert_eq!(PregelConfig::workers_from_env(Some(""), 8), 8);
+        assert_eq!(PregelConfig::workers_from_env(Some("lots"), 8), 8);
+        assert_eq!(PregelConfig::workers_from_env(Some("0"), 8), 8);
+        assert_eq!(PregelConfig::workers_from_env(Some("-2"), 8), 8);
+        assert_eq!(PregelConfig::workers_from_env(Some("1000000"), 8), 8);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod partition;
 pub mod program;
 pub mod state_size;
 
-pub use aggregate::{AggOp, AggValue, AggregatorDef};
+pub use aggregate::{AggOp, AggTypeMismatch, AggValue, AggregatorDef};
 pub use engine::{run, run_with_values, PregelConfig};
 pub use gas::{run_gas, GasInfo, GasProgram, GatherValue};
 pub use metrics::{HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats};

@@ -1,0 +1,226 @@
+//! `stress` — drive a resident [`GraphService`] with a concurrent,
+//! rate-limited, seeded operation mix and report latency histograms.
+//!
+//! ```text
+//! stress [--gen SPEC | --graph FILE [--directed]]
+//!        [--duration SECS] [--ops N] [--rate OPS_S] [--burst N]
+//!        [--clients N] [--executors N] [--queue N]
+//!        [--mix points|mixed|analytics] [--seed N]
+//!        [--timeout-ms N] [--retries N] [--name NAME] [--quiet]
+//! stress --validate-report FILE
+//! ```
+//!
+//! Generator specs (colon-separated): `gnm-connected:N:M:SEED`,
+//! `digraph:N:M:SEED`, `labeled:N:M:LABELS:SEED`, `tree:N:SEED`,
+//! `bipartite:NL:NR`. Default `gnm-connected:512:2048:7`.
+//!
+//! Reports are written as `BENCH_stress_<name>.json` / `.md` through the
+//! `vcgp-testkit` emitters (into `$VCGP_BENCH_DIR` or `target/vcgp-bench`).
+//! `--validate-report` re-reads a JSON report, checks it is well formed,
+//! and exits non-zero unless its `errors` count is zero — the CI gate.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+use vcgp_graph::{generators, io, Graph};
+use vcgp_stress::driver::{self, DriverConfig};
+use vcgp_stress::json;
+use vcgp_stress::mix::Mix;
+use vcgp_stress::service::{GraphService, ServiceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    if let Some(path) = flag_value(&args, "--validate-report") {
+        match validate_report(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    if let Err(msg) = run(&args) {
+        eprintln!("error: {msg}");
+        exit(2);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "stress — concurrent, rate-limited load against a resident graph service\n\n\
+         USAGE:\n  stress [--gen SPEC | --graph FILE [--directed]] [options]\n  \
+         stress --validate-report FILE\n\n\
+         OPTIONS:\n  \
+         --gen SPEC        gnm-connected:N:M:SEED | digraph:N:M:SEED |\n                    \
+         labeled:N:M:LABELS:SEED | tree:N:SEED | bipartite:NL:NR\n  \
+         --graph FILE      edge-list file (--directed to read as a digraph)\n  \
+         --duration SECS   wall-clock run length (default 2)\n  \
+         --ops N           stop after exactly N operations\n  \
+         --rate OPS_S      token-bucket pacing; omit for max throughput\n  \
+         --burst N         bucket burst allowance (default 1)\n  \
+         --clients N       concurrent client threads (default 4)\n  \
+         --executors N     service executor threads (default: cores, max 4)\n  \
+         --queue N         service queue capacity (default 128)\n  \
+         --mix NAME        points | mixed | analytics (default points)\n  \
+         --seed N          operation-stream seed (default 7)\n  \
+         --timeout-ms N    per-attempt timeout (default 5000)\n  \
+         --retries N       max attempts per request (default 3)\n  \
+         --name NAME       report name: BENCH_stress_<name>.* (default run)\n  \
+         --quiet           one-line summary instead of the full table"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, key) {
+        Some(s) => parse(s, key),
+        None => Ok(default),
+    }
+}
+
+fn build_graph(args: &[String]) -> Result<Graph, String> {
+    if let Some(path) = flag_value(args, "--graph") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let directed = args.iter().any(|a| a == "--directed");
+        return io::read_edge_list(std::io::BufReader::new(file), directed)
+            .map_err(|e| format!("parse {path}: {e}"));
+    }
+    let spec = flag_value(args, "--gen").unwrap_or("gnm-connected:512:2048:7");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let p = |i: usize, what: &str| -> Result<usize, String> {
+        parse(parts.get(i).copied().ok_or_else(|| format!("--gen missing {what}"))?, what)
+    };
+    let s = |i: usize| -> Result<u64, String> {
+        parse(parts.get(i).copied().ok_or("--gen missing seed")?, "seed")
+    };
+    match parts[0] {
+        "gnm-connected" => Ok(generators::gnm_connected(p(1, "n")?, p(2, "m")?, s(3)?)),
+        "digraph" => Ok(generators::digraph_gnm(p(1, "n")?, p(2, "m")?, s(3)?)),
+        "labeled" => Ok(generators::labeled_digraph(
+            p(1, "n")?,
+            p(2, "m")?,
+            parse(parts.get(3).copied().ok_or("--gen missing labels")?, "labels")?,
+            s(4)?,
+        )),
+        "tree" => Ok(generators::random_tree(p(1, "n")?, s(2)?)),
+        "bipartite" => Ok(generators::complete_bipartite(p(1, "nl")?, p(2, "nr")?)),
+        other => Err(format!("unknown generator {other:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let name = flag_value(args, "--name").unwrap_or("run");
+    let graph = Arc::new(build_graph(args)?);
+    let mix = Mix::preset(flag_value(args, "--mix").unwrap_or("points"), &graph)?;
+
+    let service_cfg = ServiceConfig {
+        executors: parse_flag(args, "--executors", ServiceConfig::default().executors)?,
+        queue_capacity: parse_flag(args, "--queue", 128usize)?,
+        max_attempts: parse_flag(args, "--retries", 3u32)?,
+        seed: parse_flag(args, "--seed", 7u64)?,
+        ..ServiceConfig::default()
+    };
+    let driver_cfg = DriverConfig {
+        clients: parse_flag(args, "--clients", 4usize)?,
+        duration: Duration::from_secs_f64(parse_flag(args, "--duration", 2.0f64)?),
+        ops_limit: flag_value(args, "--ops").map(|s| parse(s, "--ops")).transpose()?,
+        rate: flag_value(args, "--rate").map(|s| parse(s, "--rate")).transpose()?,
+        burst: parse_flag(args, "--burst", 1u32)?,
+        seed: parse_flag(args, "--seed", 7u64)?,
+        timeout: Duration::from_millis(parse_flag(args, "--timeout-ms", 5000u64)?),
+    };
+
+    if !quiet {
+        println!(
+            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors",
+            graph.num_vertices(),
+            graph.num_edges(),
+            if graph.is_directed() { "directed" } else { "undirected" },
+            mix.name(),
+            mix.workloads().len(),
+            driver_cfg.clients,
+            service_cfg.executors,
+        );
+    }
+
+    let service = GraphService::start(Arc::clone(&graph), service_cfg);
+    let report = driver::run(&service, &mix, &driver_cfg);
+    service.shutdown();
+
+    let report_name = format!("stress_{name}");
+    let json_text = report.to_json(&report_name);
+    let md_text = report.to_markdown(&report_name);
+    // Self-check before writing: the report must parse with our own reader.
+    json::parse(&json_text).map_err(|e| format!("internal: emitted invalid JSON: {e}"))?;
+    let (json_path, md_path) = vcgp_testkit::bench::write_report(&report_name, &json_text, &md_text)
+        .map_err(|e| format!("write report: {e}"))?;
+
+    if quiet {
+        println!(
+            "{}: {} ops, {} errors, {:.1} ops/s, p99 {:.3} ms -> {}",
+            report_name,
+            report.ops,
+            report.errors,
+            report.throughput(),
+            report.latency.quantile(0.99) as f64 / 1e6,
+            json_path.display()
+        );
+    } else {
+        println!("\n{md_text}");
+        println!("reports: {} and {}", json_path.display(), md_path.display());
+    }
+    Ok(())
+}
+
+/// Parses a JSON report and enforces the CI gate: well formed, has the
+/// expected shape, completed at least one operation, and zero errors.
+fn validate_report(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric field {key:?}"))
+    };
+    for key in ["latency_ns", "service_ns"] {
+        let h = doc.get(key).ok_or_else(|| format!("{path}: missing {key:?}"))?;
+        for q in ["p50", "p90", "p99", "p999", "max"] {
+            h.get(q)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{path}: missing {key}.{q}"))?;
+        }
+    }
+    let ops = num("ops")?;
+    let errors = num("errors")?;
+    if ops < 1.0 {
+        return Err(format!("{path}: no operations completed"));
+    }
+    if errors != 0.0 {
+        return Err(format!("{path}: {errors} errored requests (expected 0)"));
+    }
+    Ok(format!(
+        "{path}: ok ({} ops, 0 errors, {:.1} ops/s)",
+        ops as u64,
+        num("throughput_ops_s")?
+    ))
+}

@@ -1,0 +1,336 @@
+//! The load driver: client threads issuing a deterministic, seeded
+//! operation mix against a [`GraphService`], paced by a token bucket (or
+//! unthrottled), recording latencies into mergeable log-bucketed
+//! histograms.
+//!
+//! **Coordinated omission.** When a rate is configured, each operation has
+//! an *intended* start time on the fixed schedule `i · interval` and its
+//! latency is measured from that intended time — so a stalled server is
+//! charged for the operations that queued up behind the stall, not silently
+//! excused. The separate service-time histogram measures execution only.
+
+use crate::mix::Mix;
+use crate::rate::TokenBucket;
+use crate::request::{QueryError, QueryRequest};
+use crate::service::{GraphService, SubmitError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use vcgp_graph::rng::mix3;
+use vcgp_testkit::bench::json_escape;
+use vcgp_testkit::LogHistogram;
+
+/// Domain separator for per-request workload seeds.
+const REQ_STREAM: u64 = 0x5245_5153; // "REQS"
+
+/// Driver settings.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Concurrent client threads (each submits and waits synchronously).
+    pub clients: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Optional hard cap on issued operations (useful for exact-count
+    /// deterministic runs in tests).
+    pub ops_limit: Option<u64>,
+    /// Target operation rate in ops/s; `None` = unthrottled max throughput.
+    pub rate: Option<f64>,
+    /// Token-bucket burst allowance when paced.
+    pub burst: u32,
+    /// Seed of the operation stream.
+    pub seed: u64,
+    /// Per-attempt timeout stamped on every request.
+    pub timeout: Duration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients: 4,
+            duration: Duration::from_secs(2),
+            ops_limit: None,
+            rate: None,
+            burst: 1,
+            seed: 7,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregated results of one driver run.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// Mix preset name.
+    pub mix: String,
+    /// Operation-stream seed.
+    pub seed: u64,
+    /// Client thread count.
+    pub clients: usize,
+    /// Configured rate (`None` = unthrottled).
+    pub rate: Option<f64>,
+    /// Burst allowance.
+    pub burst: u32,
+    /// Wall-clock time actually spent.
+    pub elapsed: Duration,
+    /// Operations completed (ok + errored).
+    pub ops: u64,
+    /// Operations that returned a payload.
+    pub ok: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Errors that were precondition rejections (subset of `errors`).
+    pub unsupported: u64,
+    /// Operations that exhausted their attempts (subset of `errors`).
+    pub timeouts: u64,
+    /// Retry attempts beyond each operation's first.
+    pub retries: u64,
+    /// End-to-end latency in nanoseconds; coordinated-omission-corrected
+    /// (measured from the intended schedule) when a rate is set.
+    pub latency: LogHistogram,
+    /// Pure execution time in nanoseconds (excludes queueing and backoff).
+    pub service_time: LogHistogram,
+}
+
+impl StressReport {
+    /// Completed operations per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as a JSON document (parsable by [`crate::json::parse`]).
+    pub fn to_json(&self, name: &str) -> String {
+        let hist = |h: &LogHistogram| {
+            format!(
+                "{{\"count\": {}, \"min\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+                 \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                h.count(),
+                h.min(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max()
+            )
+        };
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+             \"rate\": {},\n  \"burst\": {},\n  \"elapsed_s\": {:.3},\n  \"ops\": {},\n  \
+             \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \"timeouts\": {},\n  \
+             \"retries\": {},\n  \"throughput_ops_s\": {:.1},\n  \"latency_ns\": {},\n  \
+             \"service_ns\": {}\n}}\n",
+            json_escape(name),
+            json_escape(&self.mix),
+            self.seed,
+            self.clients,
+            self.rate.map_or("null".to_string(), |r| format!("{r:.1}")),
+            self.burst,
+            self.elapsed.as_secs_f64(),
+            self.ops,
+            self.ok,
+            self.errors,
+            self.unsupported,
+            self.timeouts,
+            self.retries,
+            self.throughput(),
+            hist(&self.latency),
+            hist(&self.service_time)
+        )
+    }
+
+    /// The report as a human-readable markdown table pair.
+    pub fn to_markdown(&self, name: &str) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!("# Stress run: {name}\n\n"));
+        out.push_str(&format!(
+            "mix `{}`, seed {}, {} clients, rate {}, burst {}\n\n",
+            self.mix,
+            self.seed,
+            self.clients,
+            self.rate
+                .map_or("unthrottled".to_string(), |r| format!("{r:.0}/s")),
+            self.burst
+        ));
+        out.push_str("| metric | value |\n|---|---|\n");
+        out.push_str(&format!("| elapsed | {:.2} s |\n", self.elapsed.as_secs_f64()));
+        out.push_str(&format!("| operations | {} |\n", self.ops));
+        out.push_str(&format!("| ok / errors | {} / {} |\n", self.ok, self.errors));
+        out.push_str(&format!(
+            "| unsupported / timeouts | {} / {} |\n",
+            self.unsupported, self.timeouts
+        ));
+        out.push_str(&format!("| retries | {} |\n", self.retries));
+        out.push_str(&format!("| throughput | {:.1} ops/s |\n\n", self.throughput()));
+        out.push_str("| histogram (ms) | p50 | p90 | p99 | p99.9 | max |\n|---|---|---|---|---|---|\n");
+        for (label, h) in [("latency", &self.latency), ("service", &self.service_time)] {
+            out.push_str(&format!(
+                "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+                label,
+                ms(h.quantile(0.50)),
+                ms(h.quantile(0.90)),
+                ms(h.quantile(0.99)),
+                ms(h.quantile(0.999)),
+                ms(h.max())
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct ClientStats {
+    ops: u64,
+    ok: u64,
+    errors: u64,
+    unsupported: u64,
+    timeouts: u64,
+    retries: u64,
+    latency: LogHistogram,
+    service_time: LogHistogram,
+}
+
+/// Runs the workload described by `cfg` against `service` and aggregates
+/// every client's measurements.
+pub fn run(service: &GraphService, mix: &Mix, cfg: &DriverConfig) -> StressReport {
+    assert!(cfg.clients >= 1, "need at least one client");
+    let next_op = AtomicU64::new(0);
+    let bucket = cfg
+        .rate
+        .map(|r| Mutex::new(TokenBucket::new(r, cfg.burst.max(1))));
+    let interval_ns = cfg.rate.map(|r| ((1e9 / r).max(1.0)) as u64);
+    let start = Instant::now();
+    let end = start + cfg.duration;
+
+    let merged: Vec<ClientStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let next_op = &next_op;
+                let bucket = &bucket;
+                scope.spawn(move || {
+                    client_loop(service, mix, cfg, next_op, bucket, interval_ns, start, end)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = start.elapsed();
+    let mut total = ClientStats::default();
+    for c in merged {
+        total.ops += c.ops;
+        total.ok += c.ok;
+        total.errors += c.errors;
+        total.unsupported += c.unsupported;
+        total.timeouts += c.timeouts;
+        total.retries += c.retries;
+        total.latency.merge(&c.latency);
+        total.service_time.merge(&c.service_time);
+    }
+    StressReport {
+        mix: mix.name().to_string(),
+        seed: cfg.seed,
+        clients: cfg.clients,
+        rate: cfg.rate,
+        burst: cfg.burst,
+        elapsed,
+        ops: total.ops,
+        ok: total.ok,
+        errors: total.errors,
+        unsupported: total.unsupported,
+        timeouts: total.timeouts,
+        retries: total.retries,
+        latency: total.latency,
+        service_time: total.service_time,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    service: &GraphService,
+    mix: &Mix,
+    cfg: &DriverConfig,
+    next_op: &AtomicU64,
+    bucket: &Option<Mutex<TokenBucket>>,
+    interval_ns: Option<u64>,
+    start: Instant,
+    end: Instant,
+) -> ClientStats {
+    let mut stats = ClientStats::default();
+    loop {
+        if Instant::now() >= end {
+            break;
+        }
+        let i = next_op.fetch_add(1, Ordering::Relaxed);
+        if cfg.ops_limit.is_some_and(|cap| i >= cap) {
+            break;
+        }
+        // Pacing: wait for a token; give up (and end the run) rather than
+        // issue an operation past the configured duration.
+        if let Some(bucket) = bucket {
+            let mut gave_up = false;
+            loop {
+                let now = Instant::now();
+                if now >= end {
+                    gave_up = true;
+                    break;
+                }
+                let now_ns = now.duration_since(start).as_nanos() as u64;
+                // Bind the decision first: matching on the lock expression
+                // directly would keep the MutexGuard temporary alive across
+                // the sleep, making every other client block on the bucket
+                // for the whole pause.
+                let decision = bucket.lock().unwrap().try_acquire(now_ns);
+                match decision {
+                    Ok(()) => break,
+                    Err(wait_ns) => {
+                        let sleep = Duration::from_nanos(wait_ns)
+                            .min(end.saturating_duration_since(now));
+                        std::thread::sleep(sleep);
+                    }
+                }
+            }
+            if gave_up {
+                break;
+            }
+        }
+        // Intended start on the fixed schedule (coordinated-omission
+        // correction); actual submit time when unthrottled.
+        let intended = match interval_ns {
+            Some(step) => start + Duration::from_nanos(i.saturating_mul(step)),
+            None => Instant::now(),
+        };
+        let req = QueryRequest::new(i, mix.op(cfg.seed, i))
+            .with_seed(mix3(cfg.seed, i, REQ_STREAM))
+            .with_timeout(cfg.timeout);
+        let ticket = match service.submit(req) {
+            Ok(t) => t,
+            Err(SubmitError::Closed | SubmitError::Full) => break,
+        };
+        let resp = ticket.wait();
+        let done = Instant::now();
+        stats.ops += 1;
+        stats.retries += u64::from(resp.retries());
+        stats
+            .latency
+            .record(done.saturating_duration_since(intended).as_nanos() as u64);
+        stats.service_time.record(resp.service_time.as_nanos() as u64);
+        match &resp.result {
+            Ok(_) => stats.ok += 1,
+            Err(e) => {
+                stats.errors += 1;
+                match e {
+                    QueryError::Unsupported(_) => stats.unsupported += 1,
+                    QueryError::Timeout { .. } => stats.timeouts += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    stats
+}

@@ -1,0 +1,42 @@
+//! `vcgp-stress` — a graph-query service layer plus a concurrent,
+//! rate-limited workload driver.
+//!
+//! The batch harness (`vcgp-core`) answers the paper's question for one
+//! workload at a time on purpose-built inputs. This crate asks the
+//! *production* question the roadmap points at: what does a vertex-centric
+//! engine look like as a resident service under concurrent, heavy traffic?
+//!
+//! * [`request`] — typed [`request::QueryRequest`]s (any Table 1 workload,
+//!   plus point lookups) with per-attempt timeouts and absolute deadlines,
+//!   answered by [`request::QueryResponse`]s carrying per-request cost
+//!   metrics;
+//! * [`service`] — [`service::GraphService`]: the graph loaded once behind
+//!   an [`std::sync::Arc`], a bounded MPMC job queue, OS-thread executors,
+//!   post-hoc timeouts with bounded seeded-jitter retries, contained
+//!   panics, and graceful draining shutdown;
+//! * [`rate`] — a GCRA token bucket over integer nanoseconds, exactly
+//!   testable because it never reads a clock;
+//! * [`mix`] — deterministic operation mixes: `(seed, index) → operation`
+//!   as a pure function, so a fixed seed reproduces the exact sequence
+//!   regardless of client interleaving;
+//! * [`driver`] — the load generator: client threads, token-bucket pacing
+//!   (or unthrottled), coordinated-omission-corrected latency plus pure
+//!   service time in mergeable log-bucketed histograms, and JSON/markdown
+//!   reports via `vcgp-testkit`'s emitters;
+//! * [`json`] — a minimal JSON reader used to validate the driver's own
+//!   reports.
+//!
+//! Run the driver with `cargo run --release -p vcgp-stress --bin stress`.
+
+pub mod driver;
+pub mod json;
+pub mod mix;
+pub mod rate;
+pub mod request;
+pub mod service;
+
+pub use driver::{run, DriverConfig, StressReport};
+pub use mix::Mix;
+pub use rate::TokenBucket;
+pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse};
+pub use service::{GraphService, ServiceConfig, ServiceStats, SubmitError, Ticket};

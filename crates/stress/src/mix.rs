@@ -1,0 +1,143 @@
+//! Deterministic operation mixes.
+//!
+//! An operation mix maps a `(seed, operation index)` pair to a
+//! [`QueryKind`] as a pure function — no shared RNG stream — so any number
+//! of driver threads can draw operations concurrently and two runs with the
+//! same seed issue the *identical* operation sequence regardless of thread
+//! interleaving.
+
+use crate::request::QueryKind;
+use vcgp_core::{service, Workload};
+use vcgp_graph::rng::mix3;
+use vcgp_graph::{Graph, SplitMix64};
+
+/// Workloads light enough for the serving path, in preference order.
+/// (Diameter/APSP, betweenness, and the tree rows are batch-shaped: full
+/// APSP floods `O(n·m)` messages and the tree rows need a tree input.)
+const SERVING_WORKLOADS: [Workload; 10] = [
+    Workload::CcHashMin,
+    Workload::CcSv,
+    Workload::SpanningTree,
+    Workload::Sssp,
+    Workload::PageRank,
+    Workload::Coloring,
+    Workload::Wcc,
+    Workload::Scc,
+    Workload::GraphSim,
+    Workload::DualSim,
+];
+
+/// Domain separator for the operation stream.
+const MIX_STREAM: u64 = 0x4D49_5853; // "MIXS"
+
+/// A resolved operation mix: percentage of point lookups plus the workload
+/// pool drawn for the remainder, already filtered to what the resident
+/// graph supports.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    name: &'static str,
+    point_pct: u64,
+    workloads: Vec<Workload>,
+    num_vertices: usize,
+}
+
+impl Mix {
+    /// Resolves a named preset against `graph`:
+    ///
+    /// * `points` — 100 % point lookups (degree / neighbor reads);
+    /// * `mixed` — 80 % point lookups, 20 % analytics workloads;
+    /// * `analytics` — 100 % analytics workloads.
+    ///
+    /// The workload pool is the serving-suitable subset of Table 1
+    /// intersected with [`vcgp_core::service::supported_workloads`]; a
+    /// preset that needs workloads fails on a graph that supports none.
+    pub fn preset(name: &str, graph: &Graph) -> Result<Mix, String> {
+        let (canonical, point_pct): (&'static str, u64) = match name {
+            "points" => ("points", 100),
+            "mixed" => ("mixed", 80),
+            "analytics" => ("analytics", 0),
+            other => {
+                return Err(format!(
+                    "unknown mix '{other}' (expected points, mixed, or analytics)"
+                ))
+            }
+        };
+        let workloads: Vec<Workload> = if point_pct == 100 {
+            Vec::new()
+        } else {
+            SERVING_WORKLOADS
+                .into_iter()
+                .filter(|&w| service::supported(w, graph).is_ok())
+                .collect()
+        };
+        if point_pct < 100 && workloads.is_empty() {
+            return Err(format!(
+                "mix '{canonical}' needs analytics workloads, but this graph supports none"
+            ));
+        }
+        Ok(Mix {
+            name: canonical,
+            point_pct,
+            workloads,
+            num_vertices: graph.num_vertices(),
+        })
+    }
+
+    /// The preset name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The resolved workload pool.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The operation at `index` in the run seeded by `seed` — a pure
+    /// function of its arguments.
+    pub fn op(&self, seed: u64, index: u64) -> QueryKind {
+        let mut rng = SplitMix64::new(mix3(seed, index, MIX_STREAM));
+        let roll = rng.next_below(100);
+        if roll < self.point_pct {
+            let v = rng.next_index(self.num_vertices) as u32;
+            if rng.next_bool(0.5) {
+                QueryKind::Degree(v)
+            } else {
+                QueryKind::Neighbors(v)
+            }
+        } else {
+            QueryKind::Workload(self.workloads[rng.next_index(self.workloads.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    #[test]
+    fn presets_resolve_against_graph_capabilities() {
+        let g = generators::gnm_connected(32, 64, 1);
+        let points = Mix::preset("points", &g).unwrap();
+        assert!(points.workloads().is_empty());
+        let mixed = Mix::preset("mixed", &g).unwrap();
+        assert!(!mixed.workloads().is_empty());
+        // Undirected graph: no Wcc/Scc/sims in the pool.
+        assert!(!mixed.workloads().contains(&Workload::Wcc));
+        assert!(Mix::preset("nope", &g).is_err());
+    }
+
+    #[test]
+    fn op_is_a_pure_function() {
+        let g = generators::gnm_connected(32, 64, 1);
+        let mix = Mix::preset("mixed", &g).unwrap();
+        for i in 0..200 {
+            assert_eq!(mix.op(7, i), mix.op(7, i), "index {i}");
+        }
+        // Different seeds give different sequences.
+        let a: Vec<QueryKind> = (0..64).map(|i| mix.op(1, i)).collect();
+        let b: Vec<QueryKind> = (0..64).map(|i| mix.op(2, i)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! A token-bucket rate limiter in the GCRA (virtual-scheduling)
+//! formulation, using integer nanoseconds throughout.
+//!
+//! The limiter is a pure state machine over caller-supplied timestamps —
+//! it never reads a clock — which makes it exactly testable: the property
+//! suite replays deterministic arrival sequences and checks the admission
+//! bound over every window. The driver feeds it monotonic nanoseconds since
+//! the run started.
+//!
+//! Invariant (checked by `tests/props.rs`): over any half-open window
+//! `(a, b]`, at most `rate · (b − a) + burst` arrivals are admitted.
+
+/// Token-bucket limiter: sustained `rate` with a `burst` allowance.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Nanoseconds between tokens (`1e9 / rate`), the GCRA increment `T`.
+    increment_ns: u64,
+    /// Delay tolerance `τ = (burst − 1) · T`: how far ahead of its
+    /// theoretical arrival time a request may be admitted.
+    tolerance_ns: u64,
+    /// Theoretical arrival time of the next conforming request.
+    tat_ns: u64,
+}
+
+impl TokenBucket {
+    /// A limiter admitting `rate` requests per second sustained, with up to
+    /// `burst` admitted back to back.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is positive and finite and `burst >= 1`.
+    pub fn new(rate: f64, burst: u32) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        assert!(burst >= 1, "burst must be at least 1");
+        let increment_ns = (1e9 / rate).max(1.0) as u64;
+        TokenBucket {
+            increment_ns,
+            tolerance_ns: increment_ns * u64::from(burst - 1),
+            tat_ns: 0,
+        }
+    }
+
+    /// Nanoseconds between conforming arrivals.
+    pub fn increment_ns(&self) -> u64 {
+        self.increment_ns
+    }
+
+    /// Attempts to admit an arrival at `now_ns` (monotonic nanoseconds).
+    /// Returns `Ok(())` and consumes a token, or `Err(wait_ns)` — the
+    /// arrival is early and becomes conforming `wait_ns` from now.
+    ///
+    /// `now_ns` must be non-decreasing across calls; regressions are
+    /// clamped (the limiter only ever uses `max(now, state)`).
+    pub fn try_acquire(&mut self, now_ns: u64) -> Result<(), u64> {
+        let earliest = self.tat_ns.saturating_sub(self.tolerance_ns);
+        if now_ns < earliest {
+            return Err(earliest - now_ns);
+        }
+        self.tat_ns = self.tat_ns.max(now_ns) + self.increment_ns;
+        Ok(())
+    }
+
+    /// The next instant (monotonic nanoseconds) at which an arrival would
+    /// be admitted. Zero when a token is available right now.
+    pub fn next_conforming_ns(&self) -> u64 {
+        self.tat_ns.saturating_sub(self.tolerance_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_steady_state() {
+        // 1000/s, burst 4: four admits at t=0, then one per millisecond.
+        let mut tb = TokenBucket::new(1000.0, 4);
+        for _ in 0..4 {
+            assert_eq!(tb.try_acquire(0), Ok(()));
+        }
+        let wait = tb.try_acquire(0).unwrap_err();
+        assert_eq!(wait, 1_000_000);
+        assert_eq!(tb.try_acquire(1_000_000), Ok(()));
+        assert!(tb.try_acquire(1_000_001).is_err());
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst() {
+        let mut tb = TokenBucket::new(1000.0, 3);
+        for _ in 0..3 {
+            assert_eq!(tb.try_acquire(0), Ok(()));
+        }
+        // A long idle period refills the full burst but no more.
+        let t = 1_000_000_000;
+        for _ in 0..3 {
+            assert_eq!(tb.try_acquire(t), Ok(()));
+        }
+        assert!(tb.try_acquire(t).is_err());
+    }
+
+    #[test]
+    fn wait_hint_is_exact() {
+        let mut tb = TokenBucket::new(100.0, 1);
+        assert_eq!(tb.try_acquire(0), Ok(()));
+        let wait = tb.try_acquire(0).unwrap_err();
+        assert_eq!(tb.try_acquire(wait - 1), Err(1));
+        assert_eq!(tb.try_acquire(wait), Ok(()));
+    }
+}

@@ -1,0 +1,455 @@
+//! The graph-query service: a resident graph behind a bounded job queue
+//! drained by a pool of OS-thread executors.
+//!
+//! The graph is loaded once and shared via [`Arc`]; callers submit
+//! [`QueryRequest`]s and receive a [`Ticket`] whose [`Ticket::wait`]
+//! blocks for the [`QueryResponse`]. The queue is bounded — a full queue
+//! applies backpressure to submitters rather than growing without limit.
+//!
+//! Failure handling:
+//! * attempts whose execution exceeds the request's per-attempt timeout are
+//!   retried with exponential backoff plus deterministic jitter (seeded via
+//!   the workspace `SplitMix64`), up to a configured attempt cap — the
+//!   Pregel engine cannot be interrupted mid-superstep, so the timeout is
+//!   enforced post-hoc;
+//! * panics inside a workload are caught per request: the executor survives
+//!   and the caller gets [`QueryError::Panicked`];
+//! * requests whose absolute deadline has passed fail fast without
+//!   consuming an execution slot;
+//! * shutdown is graceful: [`GraphService::close`] stops admissions, then
+//!   executors drain everything already accepted, so no accepted request
+//!   loses its response.
+
+use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vcgp_graph::rng::mix3;
+use vcgp_graph::{Graph, SplitMix64};
+use vcgp_pregel::PregelConfig;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Executor threads draining the queue.
+    pub executors: usize,
+    /// Queue capacity; submitters block (or [`GraphService::try_submit`]
+    /// fails) when this many requests are pending.
+    pub queue_capacity: usize,
+    /// Maximum execution attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) is
+    /// `min(backoff_base · 2^(k-1), backoff_cap)`, halved and then extended
+    /// by deterministic jitter up to the same amount.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff pause.
+    pub backoff_cap: Duration,
+    /// Seed of the retry-jitter stream (mixed with request id and attempt).
+    pub seed: u64,
+    /// Engine configuration for workload execution. Defaults to a single
+    /// worker per executor — concurrency comes from running many requests
+    /// at once, not from parallelizing each one.
+    pub engine: PregelConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            executors: std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(2),
+            queue_capacity: 128,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x5354_5253, // "STRS"
+            engine: PregelConfig::single_worker(),
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service has been closed; no new work is admitted.
+    Closed,
+    /// The queue is at capacity (only from [`GraphService::try_submit`]).
+    Full,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "service closed"),
+            SubmitError::Full => write!(f, "queue full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Cumulative service counters (monotone; read with [`GraphService::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Execution attempts beyond each request's first.
+    pub retries: u64,
+    /// Attempts that exceeded their per-attempt timeout.
+    pub timeouts: u64,
+    /// Panics contained by executors.
+    pub panics: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct Job {
+    req: QueryRequest,
+    enqueued_at: Instant,
+    tx: mpsc::Sender<QueryResponse>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    counters: Counters,
+}
+
+/// A pending response. Dropping the ticket abandons the response (the
+/// executor's send is simply discarded); the request still runs.
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<QueryResponse>,
+}
+
+impl Ticket {
+    /// The submitted request's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. If the service is torn down
+    /// non-gracefully (executor channel dropped), returns a
+    /// [`QueryError::ShuttingDown`] response rather than panicking.
+    pub fn wait(self) -> QueryResponse {
+        let id = self.id;
+        self.rx.recv().unwrap_or(QueryResponse {
+            id,
+            result: Err(QueryError::ShuttingDown),
+            attempts: 0,
+            queue_wait: Duration::ZERO,
+            service_time: Duration::ZERO,
+            backoff: Duration::ZERO,
+        })
+    }
+}
+
+/// A resident graph serving typed queries from a bounded queue.
+pub struct GraphService {
+    graph: Arc<Graph>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl GraphService {
+    /// Loads `graph` behind the service and spawns the executor pool.
+    pub fn start(graph: Arc<Graph>, config: ServiceConfig) -> GraphService {
+        assert!(config.executors >= 1, "need at least one executor");
+        assert!(config.queue_capacity >= 1, "queue capacity must be positive");
+        assert!(config.max_attempts >= 1, "need at least one attempt");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity,
+            counters: Counters::default(),
+        });
+        let workers = (0..config.executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let graph = Arc::clone(&graph);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("vcgp-stress-exec-{i}"))
+                    .spawn(move || executor_loop(&graph, &shared, &config))
+                    .expect("spawn executor")
+            })
+            .collect();
+        GraphService {
+            graph,
+            shared,
+            workers,
+        }
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Submits a request, blocking while the queue is full. Fails only when
+    /// the service is closed.
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+            if state.jobs.len() < self.shared.capacity {
+                return Ok(self.enqueue(state, req));
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking submit: fails immediately when the queue is full or the
+    /// service is closed.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::Full);
+        }
+        Ok(self.enqueue(state, req))
+    }
+
+    fn enqueue(
+        &self,
+        mut state: std::sync::MutexGuard<'_, QueueState>,
+        req: QueryRequest,
+    ) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let id = req.id;
+        state.jobs.push_back(Job {
+            req,
+            enqueued_at: Instant::now(),
+            tx,
+        });
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ticket { id, rx }
+    }
+
+    /// Stops admitting new requests. Already-accepted requests keep their
+    /// place and will be answered; pending and future [`submit`] calls
+    /// return [`SubmitError::Closed`].
+    ///
+    /// [`submit`]: GraphService::submit
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Closes the service and blocks until the executors have drained every
+    /// accepted request. Returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+}
+
+impl Drop for GraphService {
+    fn drop(&mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn executor_loop(graph: &Graph, shared: &Shared, config: &ServiceConfig) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.not_empty.wait(state).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+        let response = serve(graph, shared, config, &job.req, job.enqueued_at);
+        if response.result.is_ok() {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        // The caller may have dropped its ticket; that is fine.
+        let _ = job.tx.send(response);
+    }
+}
+
+/// Runs one request to completion: attempt, post-hoc timeout check, backoff,
+/// retry, deadline enforcement.
+fn serve(
+    graph: &Graph,
+    shared: &Shared,
+    config: &ServiceConfig,
+    req: &QueryRequest,
+    enqueued_at: Instant,
+) -> QueryResponse {
+    let started = Instant::now();
+    let queue_wait = started.duration_since(enqueued_at);
+    let mut service_time = Duration::ZERO;
+    let mut backoff_total = Duration::ZERO;
+    let mut attempts = 0u32;
+    let result = loop {
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            break Err(QueryError::DeadlineExceeded);
+        }
+        attempts += 1;
+        if attempts > 1 {
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_once(graph, &req.kind, req.seed, &config.engine)
+        }));
+        let elapsed = t0.elapsed();
+        service_time += elapsed;
+        match outcome {
+            Err(payload) => {
+                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                break Err(QueryError::Panicked(panic_message(&*payload)));
+            }
+            Ok(Err(e)) => break Err(e), // permanent: retrying cannot help
+            Ok(Ok(output)) => {
+                if elapsed <= req.timeout {
+                    break Ok(output);
+                }
+                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                if attempts >= config.max_attempts {
+                    break Err(QueryError::Timeout { attempts });
+                }
+                let pause = backoff_with_jitter(config, req.id, attempts);
+                let pause = match req.deadline {
+                    Some(d) => pause.min(d.saturating_duration_since(Instant::now())),
+                    None => pause,
+                };
+                backoff_total += pause;
+                std::thread::sleep(pause);
+            }
+        }
+    };
+    QueryResponse {
+        id: req.id,
+        result,
+        attempts,
+        queue_wait,
+        service_time,
+        backoff: backoff_total,
+    }
+}
+
+/// Backoff before retry `attempt + 1`: exponential in the attempt number,
+/// capped, then jittered deterministically into `[base/2, base)` so
+/// simultaneous retries de-synchronize but a fixed seed reproduces exactly.
+fn backoff_with_jitter(config: &ServiceConfig, req_id: u64, attempt: u32) -> Duration {
+    let exp = config
+        .backoff_base
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(config.backoff_cap);
+    let ns = exp.as_nanos() as u64;
+    if ns < 2 {
+        return exp;
+    }
+    let mut rng = SplitMix64::new(mix3(config.seed, req_id, u64::from(attempt)));
+    Duration::from_nanos(ns / 2 + rng.next_below(ns / 2))
+}
+
+fn execute_once(
+    graph: &Graph,
+    kind: &QueryKind,
+    seed: u64,
+    engine: &PregelConfig,
+) -> Result<QueryOutput, QueryError> {
+    match *kind {
+        QueryKind::Workload(w) => {
+            let run = vcgp_core::service::run_workload(w, graph, engine, seed)
+                .map_err(|e| QueryError::Unsupported(e.to_string()))?;
+            Ok(QueryOutput::Workload {
+                answer: run.answer,
+                supersteps: run.stats.supersteps(),
+                messages: run.stats.total_messages(),
+            })
+        }
+        QueryKind::Degree(v) => {
+            if (v as usize) >= graph.num_vertices() {
+                return Err(QueryError::NoSuchVertex(v));
+            }
+            Ok(QueryOutput::Degree(graph.out_degree(v)))
+        }
+        QueryKind::Neighbors(v) => {
+            if (v as usize) >= graph.num_vertices() {
+                return Err(QueryError::NoSuchVertex(v));
+            }
+            Ok(QueryOutput::Neighbors(graph.out_neighbors(v).to_vec()))
+        }
+        QueryKind::DebugSleep(d) => {
+            std::thread::sleep(d);
+            Ok(QueryOutput::Slept)
+        }
+        QueryKind::DebugPanic => panic!("debug panic requested"),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

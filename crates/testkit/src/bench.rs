@@ -138,19 +138,9 @@ impl Harness {
     /// invoking package's CWD (cargo runs bench binaries from the package
     /// directory, not the workspace root); `VCGP_BENCH_DIR` overrides.
     pub fn new(name: &str) -> Self {
-        // This crate lives at <workspace>/crates/testkit, so the workspace
-        // root is two levels above its manifest.
-        let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .and_then(|p| p.parent())
-            .map(PathBuf::from)
-            .unwrap_or_default();
-        let out_dir = std::env::var_os("VCGP_BENCH_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| workspace.join("target/vcgp-bench"));
         Harness {
             name: name.to_string(),
-            out_dir,
+            out_dir: report_dir(),
             groups: Vec::new(),
         }
     }
@@ -428,7 +418,38 @@ pub fn fmt_rate(per_sec: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Resolves the report output directory: `$VCGP_BENCH_DIR`, or
+/// `<workspace>/target/vcgp-bench/` (this crate's manifest lives at
+/// `<workspace>/crates/testkit`, so the workspace root is two levels up).
+pub fn report_dir() -> PathBuf {
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    std::env::var_os("VCGP_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace.join("target/vcgp-bench"))
+}
+
+/// Writes an already-rendered report pair to the standard bench output
+/// location as `BENCH_<name>.json` and `BENCH_<name>.md`, creating the
+/// directory if needed. Returns `(json_path, md_path)`. This is the emitter
+/// [`Harness::finish`] uses, exposed so non-timing report producers (the
+/// stress driver's latency reports, sweep summaries, …) land their artifacts
+/// beside the timing benches with the same naming convention.
+pub fn write_report(name: &str, json: &str, md: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir)?;
+    let json_path = dir.join(format!("BENCH_{name}.json"));
+    let md_path = dir.join(format!("BENCH_{name}.md"));
+    std::fs::write(&json_path, json)?;
+    std::fs::write(&md_path, md)?;
+    Ok((json_path, md_path))
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

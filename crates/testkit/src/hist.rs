@@ -1,0 +1,285 @@
+//! A log-bucketed (HDR-style) histogram for latency recording.
+//!
+//! Values (nanoseconds, operation counts, …) are binned log-linearly: each
+//! power-of-two octave is split into `2^SUB_BITS = 128` equal sub-buckets,
+//! so any recorded value is represented with at most `1/128 ≈ 0.8 %`
+//! relative error while the whole `u64` range fits in a fixed ~58 KiB count
+//! array. Recording is O(1) with no allocation, and two histograms recorded
+//! on different threads [`merge`](LogHistogram::merge) exactly — the bucket
+//! boundaries are value-determined, so merging is element-wise addition and
+//! loses no sample. Quantiles walk the cumulative counts and return the
+//! *upper edge* of the selected bucket, which makes `quantile` monotone in
+//! `q` by construction and never under-reports a tail.
+
+/// Sub-bucket precision: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 7;
+/// Buckets per octave (also the width of the initial linear region).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: the linear region plus one block of `SUB_COUNT`
+/// buckets per octave `e ∈ [SUB_BITS, 63]`.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// A mergeable log-linear histogram over `u64` values.
+///
+/// ```
+/// use vcgp_testkit::hist::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30, 40, 1_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.quantile(0.5), 30);
+/// assert!(h.quantile(1.0) >= 1_000_000);
+/// ```
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// Bucket index for a value: identity in the linear region, log-linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let sub = ((v >> (e - SUB_BITS)) - SUB_COUNT) as usize;
+        (((e - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// The largest value mapping to `index` (the bucket's upper edge).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_COUNT as usize {
+        index as u64
+    } else {
+        let e = (index >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (index & (SUB_COUNT as usize - 1)) as u64;
+        let width = 1u64 << (e - SUB_BITS);
+        (SUB_COUNT + sub) * width + (width - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, not bucketed; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper edge of the first
+    /// bucket whose cumulative count reaches `⌈q · count⌉` (clamped to at
+    /// least the first sample). Returns 0 for an empty histogram; `q` is
+    /// clamped into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the true extremes.
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Bucket boundaries are
+    /// value-determined, so the merge is exact: the result is identical to
+    /// having recorded both sample streams into one histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterates non-empty buckets as `(upper_edge, count)` in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        for v in 0..SUB_COUNT {
+            let q = (v + 1) as f64 / SUB_COUNT as f64;
+            assert_eq!(h.quantile(q), v, "quantile({q})");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_COUNT - 1);
+    }
+
+    #[test]
+    fn bucket_index_and_upper_are_consistent() {
+        // Every probed value must land in a bucket whose upper edge is >= it
+        // and within the relative error bound.
+        for shift in 0..63 {
+            for delta in [0u64, 1, 3] {
+                let v = (1u64 << shift) + delta;
+                let i = bucket_index(v);
+                let upper = bucket_upper(i);
+                assert!(upper >= v, "v={v} i={i} upper={upper}");
+                // Relative error at most 1/SUB_COUNT.
+                assert!(
+                    (upper - v) as f64 <= (v as f64 / SUB_COUNT as f64) + 1.0,
+                    "v={v} upper={upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_upper_is_strictly_monotone() {
+        let mut prev = bucket_upper(0);
+        for i in 1..NUM_BUCKETS {
+            let u = bucket_upper(i);
+            assert!(u > prev, "index {i}: {u} <= {prev}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let values: Vec<u64> = (0..1000u64).map(|i| i * i * 37 + 11).collect();
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+}

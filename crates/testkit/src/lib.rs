@@ -13,11 +13,16 @@
 //!   failure reports include a seed that replays the counterexample.
 //! * [`bench`] — a criterion-style timing harness: warmup, fixed-iteration
 //!   sampling, mean/median/stddev, throughput labels, and JSON + markdown
-//!   emitters (`BENCH_<name>.json` / `BENCH_<name>.md`).
+//!   emitters (`BENCH_<name>.json` / `BENCH_<name>.md`) that other report
+//!   producers reuse via [`bench::write_report`].
+//! * [`hist`] — a log-bucketed (HDR-style) mergeable histogram for latency
+//!   recording, used by the `vcgp-stress` workload driver.
 //!
-//! Both modules use only `std` plus `vcgp-graph`'s deterministic RNG.
+//! All modules use only `std` plus `vcgp-graph`'s deterministic RNG.
 
 pub mod bench;
+pub mod hist;
 pub mod prop;
 
+pub use hist::LogHistogram;
 pub use prop::{any_u64, Config, Strategy};

@@ -1,0 +1,108 @@
+//! Property tests for the log-bucketed latency histogram: quantile
+//! monotonicity, bounded relative error, and lossless merging — the
+//! invariants the `vcgp-stress` driver's cross-thread latency reports
+//! depend on.
+
+use vcgp_testkit::hist::LogHistogram;
+use vcgp_testkit::prop::{Source, Strategy};
+use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
+
+/// Draws `count` values spread across magnitudes: small linear-region
+/// values, mid-range, and huge, so every bucket regime is exercised.
+fn draw_values(src_seed: u64, count: usize) -> Vec<u64> {
+    let mut src = Source::new(src_seed);
+    (0..count)
+        .map(|_| {
+            let shift = src.next_below(64) as u32;
+            src.next_u64() >> shift
+        })
+        .collect()
+}
+
+/// Exact reference quantile matching the histogram's rank convention
+/// (`⌈q·n⌉`-th smallest, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+vcgp_props! {
+    #![cases(48)]
+
+    fn quantiles_are_monotone_in_q(seed in 0u64..1_000_000, n in 1usize..400) {
+        let mut h = LogHistogram::new();
+        for v in draw_values(seed, n) {
+            h.record(v);
+        }
+        let mut prev = h.quantile(0.0);
+        for i in 1..=40 {
+            let cur = h.quantile(i as f64 / 40.0);
+            prop_assert!(cur >= prev, "quantile not monotone at q={}", i as f64 / 40.0);
+            prev = cur;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    fn quantile_relative_error_is_bounded(seed in 0u64..1_000_000, n in 1usize..300) {
+        let values = draw_values(seed, n);
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let approx = h.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            // Upper-edge reporting: never below the exact value, and at most
+            // one sub-bucket (1/128 relative, +1 for integer rounding) above.
+            prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+            let bound = exact.saturating_add(exact / 128).saturating_add(1);
+            prop_assert!(approx <= bound, "q={q}: approx {approx} > bound {bound}");
+        }
+    }
+
+    fn merge_loses_no_sample_and_preserves_quantiles(
+        seed in 0u64..1_000_000,
+        n in 0usize..500,
+        parts in 1usize..8,
+    ) {
+        let values = draw_values(seed, n);
+        let mut whole = LogHistogram::new();
+        let mut shards: Vec<LogHistogram> = (0..parts).map(|_| LogHistogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            shards[i % parts].record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+        let bucket_total: u64 = merged.nonzero_buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, merged.count());
+    }
+
+    fn record_n_equals_repeated_record(v_seed in 0u64..1_000_000, n in 1u64..50) {
+        let v = vcgp_graph::SplitMix64::new(v_seed).next_u64() >> (v_seed % 40);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_n(v, n);
+        for _ in 0..n {
+            b.record(v);
+        }
+        prop_assert_eq!(a.count(), b.count());
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            prop_assert_eq!(a.quantile(q), b.quantile(q));
+        }
+    }
+}

@@ -41,4 +41,9 @@ cargo test -q --workspace --offline
 echo "== cargo bench -p vcgp-bench --no-run --offline (benches must compile)"
 cargo bench -p vcgp-bench --no-run --offline
 
+echo "== stress smoke (2 s paced load, gated on valid JSON and zero errors)"
+./target/release/stress --gen gnm-connected:512:2048:7 --duration 2 --rate 500 \
+    --seed 7 --mix points --name smoke --quiet
+./target/release/stress --validate-report target/vcgp-bench/BENCH_stress_smoke.json
+
 echo "tier-1 verify: OK"
