@@ -1,16 +1,35 @@
-//! Engine microbenches: superstep overhead, message throughput, combiner
-//! effect, and worker scaling — the substrate costs underneath every
-//! Table 1 row.
+//! Engine benchmark suite: the message-plane costs underneath every
+//! Table 1 row and every serving-layer request.
 //!
-//! Runs as a plain binary (`harness = false`) on the in-tree
-//! `vcgp-testkit` timing harness; emits `BENCH_engine.json` / `.md`.
+//! Measures supersteps/sec (an empty-compute spin) and messages/sec for
+//! three canonical workloads across worker counts:
+//!
+//! * **PageRank** (no combiner) — one materialized message per edge per
+//!   iteration: the pure message-throughput ceiling;
+//! * **SSSP** (min combiner) — Bellman-Ford relaxation on a weighted graph:
+//!   combining-heavy with an evolving frontier;
+//! * **WCC** (min combiner) — Hash-Min over both edge directions: dense
+//!   early supersteps where combining collapses most traffic.
+//!
+//! Runs as a plain binary (`harness = false`) on the in-tree `vcgp-testkit`
+//! timing harness; emits `BENCH_engine.json` / `.md` into
+//! `target/vcgp-bench/` so successive runs leave a comparable trajectory
+//! (committed snapshots live in `bench-results/`, see EXPERIMENTS.md).
+//!
+//! Modes:
+//! * `VCGP_ENGINE_BENCH_PROFILE=smoke` — tiny graphs and budgets for the
+//!   `scripts/verify.sh` gate;
+//! * `--validate <path>` — instead of benchmarking, checks that an emitted
+//!   `BENCH_engine*.json` is well-formed and complete (exit 1 otherwise).
 
 use std::time::Duration;
+use vcgp_algorithms::{sssp, wcc};
 use vcgp_graph::generators;
 use vcgp_pregel::{Context, PregelConfig, VertexProgram};
 use vcgp_testkit::bench::{BenchmarkId, Harness, Throughput};
+use vcgp_testkit::json;
 
-/// Spins `rounds` empty supersteps: measures pure superstep overhead.
+/// Spins `rounds` supersteps with no messages: pure superstep overhead.
 struct Spin {
     rounds: u64,
 }
@@ -25,70 +44,254 @@ impl VertexProgram for Spin {
     }
 }
 
-/// Floods one message per edge per superstep: measures message throughput.
-struct Flood {
-    rounds: u64,
+/// PageRank without a combiner: every superstep ships one message per arc,
+/// none of which collapse — the materialization-bound workload.
+struct PageRankNoCombiner {
+    iterations: u64,
 }
 
-impl VertexProgram for Flood {
-    type Value = u64;
-    type Message = u64;
-    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u64]) {
-        *ctx.value_mut() += msgs.iter().sum::<u64>();
-        if ctx.superstep() < self.rounds {
-            ctx.send_to_all_out_neighbors(1);
+impl VertexProgram for PageRankNoCombiner {
+    type Value = f64;
+    type Message = f64;
+    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[f64]) {
+        let n = ctx.num_vertices() as f64;
+        if ctx.superstep() == 0 {
+            *ctx.value_mut() = 1.0 / n;
+        } else {
+            let sum: f64 = msgs.iter().sum();
+            *ctx.value_mut() = 0.15 / n + 0.85 * sum;
         }
-        ctx.vote_to_halt();
-    }
-}
-
-/// Same as [`Flood`] but with a sum combiner.
-struct FloodCombined {
-    rounds: u64,
-}
-
-impl VertexProgram for FloodCombined {
-    type Value = u64;
-    type Message = u64;
-    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u64]) {
-        *ctx.value_mut() += msgs.iter().sum::<u64>();
-        if ctx.superstep() < self.rounds {
-            ctx.send_to_all_out_neighbors(1);
+        if ctx.superstep() < self.iterations {
+            let deg = ctx.out_neighbors().len();
+            if deg > 0 {
+                let share = *ctx.value() / deg as f64;
+                ctx.send_to_all_out_neighbors(share);
+            }
+        } else {
+            ctx.vote_to_halt();
         }
-        ctx.vote_to_halt();
-    }
-    fn combiner(&self) -> Option<fn(&mut u64, u64)> {
-        Some(|acc, m| *acc += m)
     }
 }
+
+struct Profile {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    pagerank_iterations: u64,
+    spin_rounds: u64,
+    workers: &'static [usize],
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+const FULL: Profile = Profile {
+    name: "full",
+    vertices: 10_000,
+    edges: 40_000,
+    pagerank_iterations: 10,
+    spin_rounds: 50,
+    workers: &[1, 2, 4],
+    sample_size: 10,
+    warm_up: Duration::from_millis(200),
+    measurement: Duration::from_millis(700),
+};
+
+const SMOKE: Profile = Profile {
+    name: "smoke",
+    vertices: 600,
+    edges: 2_400,
+    pagerank_iterations: 4,
+    spin_rounds: 10,
+    workers: &[1, 2],
+    sample_size: 3,
+    warm_up: Duration::from_millis(20),
+    measurement: Duration::from_millis(90),
+};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(pos + 1).unwrap_or_else(|| {
+            eprintln!("usage: engine --validate <BENCH_engine.json>");
+            std::process::exit(2);
+        });
+        let path = resolve_report_path(path);
+        match validate(&path) {
+            Ok(summary) => println!("{path}: ok ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID engine bench report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let profile = match std::env::var("VCGP_ENGINE_BENCH_PROFILE").as_deref() {
+        Ok("smoke") => &SMOKE,
+        _ => &FULL,
+    };
+    run_benches(profile);
+}
+
+/// Algorithm-level message total and superstep count of one workload run
+/// (identical for every worker count, so measured once at W=1).
+fn run_card<F: Fn(&PregelConfig) -> vcgp_pregel::RunStats>(run: F) -> (u64, u64) {
+    let stats = run(&PregelConfig::single_worker());
+    (stats.total_messages(), stats.supersteps())
+}
+
+fn run_benches(profile: &Profile) {
+    let (n, m) = (profile.vertices, profile.edges);
+    let seed = 7;
+    let plain = generators::gnm_connected(n, m, seed);
+    let weighted = generators::with_random_weights(&plain, 0.1, 5.0, seed, false);
+    let digraph = generators::digraph_gnm(n, m, seed);
+    println!(
+        "engine bench profile={} n={n} m={m} workers={:?}",
+        profile.name, profile.workers
+    );
+
     let mut harness = Harness::new("engine");
     let mut group = harness.group("engine");
     group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+        .sample_size(profile.sample_size)
+        .warm_up_time(profile.warm_up)
+        .measurement_time(profile.measurement);
 
-    let g = generators::gnm_connected(10_000, 40_000, 7);
-    group.bench_function("superstep_overhead_10k_vertices_20_steps", |b| {
-        b.iter(|| vcgp_pregel::run(&Spin { rounds: 20 }, &g, &PregelConfig::single_worker()));
-    });
-    group.throughput(Throughput::Elements(40_000 * 2 * 5));
-    for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("flood_40k_edges_5_rounds_workers", workers),
-            &workers,
-            |b, &w| {
-                let cfg = PregelConfig::default().with_workers(w);
-                b.iter(|| vcgp_pregel::run(&Flood { rounds: 5 }, &g, &cfg));
-            },
-        );
+    // Supersteps/sec: empty supersteps over the plain graph.
+    let spin = Spin {
+        rounds: profile.spin_rounds,
+    };
+    let (_, spin_steps) = run_card(|cfg| vcgp_pregel::run(&spin, &plain, cfg).1);
+    for &w in profile.workers {
+        let cfg = PregelConfig::default().with_workers(w);
+        group.throughput(Throughput::Elements(spin_steps));
+        group.bench_with_input(BenchmarkId::new("spin_supersteps", w), &cfg, |b, cfg| {
+            b.iter(|| vcgp_pregel::run(&spin, &plain, cfg));
+        });
     }
-    group.bench_function("flood_combined_40k_edges_5_rounds", |b| {
-        let cfg = PregelConfig::default().with_workers(2);
-        b.iter(|| vcgp_pregel::run(&FloodCombined { rounds: 5 }, &g, &cfg));
-    });
+
+    // Messages/sec: PageRank (no combiner).
+    let pagerank = PageRankNoCombiner {
+        iterations: profile.pagerank_iterations,
+    };
+    let (pr_msgs, _) = run_card(|cfg| vcgp_pregel::run(&pagerank, &plain, cfg).1);
+    for &w in profile.workers {
+        let cfg = PregelConfig::default().with_workers(w);
+        group.throughput(Throughput::Elements(pr_msgs));
+        group.bench_with_input(BenchmarkId::new("pagerank_nocombine", w), &cfg, |b, cfg| {
+            b.iter(|| vcgp_pregel::run(&pagerank, &plain, cfg));
+        });
+    }
+
+    // Messages/sec: SSSP (min combiner) on the weighted graph.
+    let (sssp_msgs, _) = run_card(|cfg| sssp::run(&weighted, 0, cfg).stats);
+    for &w in profile.workers {
+        let cfg = PregelConfig::default().with_workers(w);
+        group.throughput(Throughput::Elements(sssp_msgs));
+        group.bench_with_input(BenchmarkId::new("sssp_combine", w), &cfg, |b, cfg| {
+            b.iter(|| sssp::run(&weighted, 0, cfg));
+        });
+    }
+
+    // Messages/sec: WCC (min combiner) on the digraph.
+    let (wcc_msgs, _) = run_card(|cfg| wcc::run(&digraph, cfg).stats);
+    for &w in profile.workers {
+        let cfg = PregelConfig::default().with_workers(w);
+        group.throughput(Throughput::Elements(wcc_msgs));
+        group.bench_with_input(BenchmarkId::new("wcc_combine", w), &cfg, |b, cfg| {
+            b.iter(|| wcc::run(&digraph, cfg));
+        });
+    }
+
     group.finish();
-    harness.finish().expect("writing bench reports");
+    let json_path = harness.finish().expect("writing bench reports");
+    let path = json_path.display().to_string();
+    match validate(&path) {
+        Ok(summary) => println!("self-validated {path} ({summary})"),
+        Err(e) => {
+            eprintln!("emitted report failed self-validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Cargo runs bench binaries with the *package* directory as CWD, so a
+/// repo-root-relative path (as `scripts/verify.sh` passes) would not
+/// resolve; retry such paths against the shared bench report directory.
+fn resolve_report_path(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    if p.is_relative() && !p.exists() {
+        if let Some(name) = p.file_name() {
+            let fallback = vcgp_testkit::bench::report_dir().join(name);
+            if fallback.exists() {
+                return fallback.display().to_string();
+            }
+        }
+    }
+    path.to_string()
+}
+
+/// Required workload prefixes: a report missing any of them is incomplete.
+const REQUIRED: &[&str] = &["spin_supersteps/", "pagerank_nocombine/", "sssp_combine/", "wcc_combine/"];
+
+/// Checks that an emitted `BENCH_engine*.json` is well-formed: parses, has
+/// the engine group, covers every required workload, and every bench has
+/// positive timing plus a positive throughput rate.
+fn validate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let groups = match doc.get("groups") {
+        Some(json::Value::Array(gs)) if !gs.is_empty() => gs,
+        _ => return Err("no bench groups".into()),
+    };
+    let mut seen = vec![false; REQUIRED.len()];
+    let mut benches = 0usize;
+    for g in groups {
+        let list = match g.get("benches") {
+            Some(json::Value::Array(bs)) => bs,
+            _ => return Err("group without benches array".into()),
+        };
+        for b in list {
+            benches += 1;
+            let id = b
+                .get("id")
+                .and_then(json::Value::as_str)
+                .ok_or("bench without id")?;
+            let mean = b
+                .get("mean_ns")
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{id}: missing mean_ns"))?;
+            if !(mean > 0.0) {
+                return Err(format!("{id}: non-positive mean_ns {mean}"));
+            }
+            let samples = b
+                .get("samples")
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{id}: missing samples"))?;
+            if samples < 1.0 {
+                return Err(format!("{id}: no samples"));
+            }
+            for (i, prefix) in REQUIRED.iter().enumerate() {
+                if id.starts_with(prefix) {
+                    seen[i] = true;
+                    let rate = b
+                        .get("throughput")
+                        .and_then(|t| t.get("per_second"))
+                        .and_then(json::Value::as_f64)
+                        .ok_or_else(|| format!("{id}: missing throughput"))?;
+                    if !(rate > 0.0) {
+                        return Err(format!("{id}: non-positive throughput {rate}"));
+                    }
+                }
+            }
+        }
+    }
+    for (i, prefix) in REQUIRED.iter().enumerate() {
+        if !seen[i] {
+            return Err(format!("missing required workload {prefix}*"));
+        }
+    }
+    Ok(format!("{benches} benches, all workloads covered"))
 }

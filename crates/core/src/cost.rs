@@ -73,9 +73,7 @@ mod tests {
                     wall: Duration::ZERO,
                 })
                 .collect(),
-            active: 0,
-            messages_sent: 0,
-            messages_delivered: 0,
+            ..Default::default()
         }
     }
 

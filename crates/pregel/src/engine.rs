@@ -3,8 +3,11 @@
 //! Vertices are partitioned over `W` worker threads by `v mod W`; each
 //! superstep runs three phases separated by barriers:
 //!
-//! 1. **compute** — every worker runs `compute` on its active vertices and
-//!    buckets outgoing messages by destination worker;
+//! 1. **compute** — every worker runs `compute` on its runnable vertices
+//!    (tracked in a sorted per-worker worklist, so sparse supersteps cost
+//!    `O(active)`, not `O(n)`) and buckets outgoing messages by destination
+//!    worker, folding them per destination vertex when the program has a
+//!    combiner;
 //! 2. **delivery** — every worker drains the buffers addressed to it *in
 //!    fixed sender order*, so message delivery order is deterministic
 //!    regardless of thread scheduling;
@@ -16,8 +19,9 @@
 //! phase.
 
 use crate::aggregate::{AggValue, AggregatorDef};
-use crate::metrics::{HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats};
+use crate::metrics::{BufferStats, HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats};
 use crate::partition::{Partitioner, Partitioning};
+use crate::pool::{BufferCounters, OutboxSlot};
 use crate::program::{Context, MasterContext, Outgoing, VertexProgram};
 use crate::state_size::StateSize;
 use std::sync::{Barrier, Mutex};
@@ -38,9 +42,13 @@ pub struct PregelConfig {
     /// Seed for the deterministic per-vertex RNG ([`Context::rng`]).
     pub seed: u64,
     /// Record per-vertex maxima (messages, work, state bytes) for the BPPA
-    /// checker. Adds O(n) bookkeeping per superstep; off by default.
+    /// checker. Adds O(n) bookkeeping per superstep and disables
+    /// *sender-side* combining (per-message receive counts must stay
+    /// exact); off by default.
     pub track_per_vertex: bool,
-    /// Vertex-to-worker assignment strategy.
+    /// Vertex-to-worker assignment strategy. Defaults to hash; the
+    /// `VCGP_PARTITIONING` environment variable (`hash` / `range`)
+    /// overrides the default, mirroring `VCGP_WORKERS`.
     pub partitioning: Partitioning,
 }
 
@@ -60,6 +68,21 @@ impl PregelConfig {
             .filter(|&w| (1..=MAX_ENV_WORKERS).contains(&w))
             .unwrap_or(fallback)
     }
+
+    /// Resolves the default partitioning from an optional
+    /// `VCGP_PARTITIONING` value: `"hash"` or `"range"` (case-insensitive,
+    /// surrounding whitespace ignored) wins; anything else — unset, empty,
+    /// misspelled — falls back to `fallback`. Split out (and public) for
+    /// the same reason as [`PregelConfig::workers_from_env`]: service
+    /// deployments switch strategies without code changes, and the
+    /// validation is testable without mutating process-global state.
+    pub fn partitioning_from_env(value: Option<&str>, fallback: Partitioning) -> Partitioning {
+        match value.map(str::trim) {
+            Some(v) if v.eq_ignore_ascii_case("hash") => Partitioning::Hash,
+            Some(v) if v.eq_ignore_ascii_case("range") => Partitioning::Range,
+            _ => fallback,
+        }
+    }
 }
 
 impl Default for PregelConfig {
@@ -69,12 +92,15 @@ impl Default for PregelConfig {
             .unwrap_or(4);
         let env = std::env::var("VCGP_WORKERS").ok();
         let workers = PregelConfig::workers_from_env(env.as_deref(), hardware);
+        let part_env = std::env::var("VCGP_PARTITIONING").ok();
+        let partitioning =
+            PregelConfig::partitioning_from_env(part_env.as_deref(), Partitioning::Hash);
         PregelConfig {
             num_workers: workers,
             max_supersteps: 1_000_000,
             seed: 0x5653_4750,
             track_per_vertex: false,
-            partitioning: Partitioning::Hash,
+            partitioning,
         }
     }
 }
@@ -172,12 +198,12 @@ impl PerVertexLocal {
 struct Scratch {
     stats: WorkerStats,
     delivered: u64,
+    combined_sender: u64,
+    buffers: BufferCounters,
+    inbox_capacity: u64,
     next_active: usize,
     ran: usize,
 }
-
-/// Addressed messages buffered between the compute and delivery phases.
-type Outbox<M> = Vec<(VertexId, M)>;
 
 /// Master-phase decisions shared back to all workers.
 struct Control {
@@ -196,8 +222,10 @@ struct Shared<'a, P: VertexProgram> {
     agg_defs: Vec<AggregatorDef>,
     barrier: Barrier,
     /// `outboxes[sender][receiver]`: messages produced in the compute phase,
-    /// drained by the receiver in the delivery phase.
-    outboxes: Vec<Vec<Mutex<Outbox<P::Message>>>>,
+    /// drained by the receiver in the delivery phase. Between uses each slot
+    /// parks an empty, capacity-carrying buffer for the sender's next flush
+    /// (see [`crate::pool`]).
+    outboxes: Vec<Vec<Mutex<OutboxSlot<P::Message>>>>,
     scratch: Vec<Mutex<Scratch>>,
     agg_partials: Vec<Mutex<Vec<AggValue>>>,
     agg_merged: Mutex<Vec<AggValue>>,
@@ -264,7 +292,7 @@ where
         agg_defs,
         barrier: Barrier::new(w),
         outboxes: (0..w)
-            .map(|_| (0..w).map(|_| Mutex::new(Vec::new())).collect())
+            .map(|_| (0..w).map(|_| Mutex::new(OutboxSlot::default())).collect())
             .collect(),
         scratch: (0..w).map(|_| Mutex::new(Scratch::default())).collect(),
         agg_partials: (0..w).map(|_| Mutex::new(identities.clone())).collect(),
@@ -338,25 +366,45 @@ fn worker_loop<P>(
 {
     let w = sh.num_workers;
     let combiner = sh.program.combiner();
+    // Sender-side combining folds per-message receive counts away, so it is
+    // disabled in per-vertex tracking mode; the receiver-side backstop then
+    // does all the combining, exactly as before the sender stage existed.
+    let sender_combiner = if sh.cfg.track_per_vertex {
+        None
+    } else {
+        combiner
+    };
+    // Message-path buffers live for the whole run: outgoing lanes (inside
+    // `out`), the delivery scratch, and per-vertex inboxes are recycled
+    // across supersteps, so steady-state supersteps allocate nothing.
+    let mut out: Outgoing<P::Message> =
+        Outgoing::new(w, sh.graph.num_vertices(), sender_combiner);
+    let mut delivery_scratch: Vec<(VertexId, P::Message)> = Vec::new();
+    let mut counters = BufferCounters::default();
+    // Worklist scheduling: each superstep runs only the vertices that are
+    // active or received a message, instead of scanning every owned vertex.
+    // `run_list` is rebuilt each superstep from phase A (non-halting
+    // vertices) and phase B (vertices whose inbox went nonempty) and sorted,
+    // so compute order — and therefore send/delivery order — stays the
+    // documented ascending-id order regardless of arrival order.
+    let k = st.ids.len();
+    let mut run_list: Vec<u32> = (0..k as u32).collect();
+    let mut next_run: Vec<u32> = Vec::with_capacity(k);
     let mut superstep: u64 = 0;
     loop {
         // ---- Phase A: compute -------------------------------------------
         let agg_prev = sh.agg_merged.lock().unwrap().clone();
         let globals_snapshot = sh.globals.lock().unwrap().clone();
         let t0 = Instant::now();
-        let mut out = Outgoing::new(w);
         let mut work_total = 0u64;
         let mut sent_total = 0u64;
-        let mut ran = 0usize;
+        let mut inbox_capacity = 0u64;
+        let ran = run_list.len();
         let mut agg_partial = identities.to_vec();
-        for li in 0..st.ids.len() {
-            let msgs = std::mem::take(&mut st.inbox[li]);
-            if !st.active[li] && msgs.is_empty() {
-                continue;
-            }
-            ran += 1;
+        for &li32 in &run_list {
+            let li = li32 as usize;
             // One unit for the invocation plus one per message processed.
-            let mut vwork = 1 + msgs.len() as u64;
+            let mut vwork = 1 + st.inbox[li].len() as u64;
             let mut vsent = 0u64;
             let mut halted = false;
             {
@@ -376,9 +424,19 @@ fn worker_loop<P>(
                     sent: &mut vsent,
                     seed: sh.cfg.seed,
                 };
-                sh.program.compute(&mut ctx, &msgs);
+                sh.program.compute(&mut ctx, &st.inbox[li]);
             }
+            // Clear instead of dropping: the inbox keeps its capacity for
+            // the next delivery phase. Vecs of zero-sized messages report
+            // usize::MAX capacity; count those as zero instead.
+            if std::mem::size_of::<P::Message>() > 0 {
+                inbox_capacity += st.inbox[li].capacity() as u64;
+            }
+            st.inbox[li].clear();
             st.active[li] = !halted;
+            if !halted {
+                next_run.push(li32);
+            }
             work_total += vwork;
             sent_total += vsent;
             if let Some(pv) = st.pv.as_mut() {
@@ -389,13 +447,22 @@ fn worker_loop<P>(
             }
         }
         let wall = t0.elapsed();
-        for (dw, buf) in out.bufs.into_iter().enumerate() {
-            if !buf.is_empty() {
-                let mut slot = sh.outboxes[me][dw].lock().unwrap();
-                debug_assert!(slot.is_empty(), "outbox not drained");
-                *slot = buf;
+        let combined_sender = out.combined;
+        for dw in 0..w {
+            let lane = &mut out.lanes[dw];
+            if lane.buf.is_empty() {
+                debug_assert_eq!(lane.folded, 0, "folds without buffered messages");
+                continue;
             }
+            let mut slot = sh.outboxes[me][dw].lock().unwrap();
+            debug_assert!(slot.msgs.is_empty(), "outbox not drained");
+            std::mem::swap(&mut slot.msgs, &mut lane.buf);
+            slot.folded = std::mem::take(&mut lane.folded);
+            // The lane now holds whatever empty buffer the receiver parked
+            // in the slot last superstep (fresh only at startup).
+            counters.note(lane.buf.capacity());
         }
+        out.begin_superstep();
         {
             let mut sc = sh.scratch[me].lock().unwrap();
             sc.stats = WorkerStats {
@@ -405,6 +472,9 @@ fn worker_loop<P>(
                 wall,
             };
             sc.delivered = 0;
+            sc.combined_sender = combined_sender;
+            sc.buffers = counters.take();
+            sc.inbox_capacity = inbox_capacity;
             sc.next_active = 0;
             sc.ran = ran;
         }
@@ -418,20 +488,50 @@ fn worker_loop<P>(
         let mut received = 0u64;
         let mut delivered = 0u64;
         for sender in 0..w {
-            let buf = std::mem::take(&mut *sh.outboxes[sender][me].lock().unwrap());
-            for (to, msg) in buf {
-                let li = sh.partitioner.local_index(to);
-                received += 1;
-                if let Some(pv) = st.pv.as_mut() {
-                    pv.recv_cur[li] += 1;
-                }
-                match combiner {
-                    Some(combine) if !st.inbox[li].is_empty() => {
-                        combine(&mut st.inbox[li][0], msg);
+            // Swap the lane out (and an empty, capacity-carrying buffer in,
+            // for the sender's next flush) instead of taking and dropping.
+            let folded;
+            {
+                let mut slot = sh.outboxes[sender][me].lock().unwrap();
+                std::mem::swap(&mut slot.msgs, &mut delivery_scratch);
+                folded = std::mem::take(&mut slot.folded);
+            }
+            // `r_i` keeps its algorithm-level meaning: sends folded at the
+            // sender still count as received here.
+            received += delivery_scratch.len() as u64 + folded;
+            // One pass per lane, combiner branch hoisted out of the loop.
+            match combiner {
+                Some(combine) => {
+                    for (to, msg) in delivery_scratch.drain(..) {
+                        let li = sh.partitioner.local_index(to);
+                        if let Some(pv) = st.pv.as_mut() {
+                            pv.recv_cur[li] += 1;
+                        }
+                        let inbox = &mut st.inbox[li];
+                        if inbox.is_empty() {
+                            inbox.push(msg);
+                            delivered += 1;
+                            // First message: schedule a halted vertex.
+                            if !st.active[li] {
+                                next_run.push(li as u32);
+                            }
+                        } else {
+                            combine(&mut inbox[0], msg);
+                        }
                     }
-                    _ => {
-                        st.inbox[li].push(msg);
+                }
+                None => {
+                    for (to, msg) in delivery_scratch.drain(..) {
+                        let li = sh.partitioner.local_index(to);
+                        if let Some(pv) = st.pv.as_mut() {
+                            pv.recv_cur[li] += 1;
+                        }
+                        let inbox = &mut st.inbox[li];
+                        inbox.push(msg);
                         delivered += 1;
+                        if inbox.len() == 1 && !st.active[li] {
+                            next_run.push(li as u32);
+                        }
                     }
                 }
             }
@@ -441,9 +541,12 @@ fn worker_loop<P>(
                 pv.max_received[li] = pv.max_received[li].max(pv.recv_cur[li]);
             }
         }
-        let next_active = (0..st.ids.len())
-            .filter(|&li| st.active[li] || !st.inbox[li].is_empty())
-            .count();
+        // The run list is exactly the set that the old full scan counted:
+        // phase A pushed the still-active vertices, the loop above pushed
+        // the halted ones that just received mail — disjoint by the
+        // `active` check, so no vertex appears twice.
+        next_run.sort_unstable();
+        let next_active = next_run.len();
         {
             let mut sc = sh.scratch[me].lock().unwrap();
             sc.stats.received = received;
@@ -460,6 +563,8 @@ fn worker_loop<P>(
             let mut ran_total = 0usize;
             let mut sent = 0u64;
             let mut delivered_total = 0u64;
+            let mut combined_total = 0u64;
+            let mut buffers = BufferStats::default();
             for i in 0..w {
                 let partial = std::mem::replace(
                     &mut *sh.agg_partials[i].lock().unwrap(),
@@ -474,12 +579,18 @@ fn worker_loop<P>(
                 ran_total += sc.ran;
                 sent += sc.stats.sent;
                 delivered_total += sc.delivered;
+                combined_total += sc.combined_sender;
+                buffers.allocated += sc.buffers.allocated;
+                buffers.recycled += sc.buffers.recycled;
+                buffers.inbox_capacity += sc.inbox_capacity;
             }
             sh.superstep_log.lock().unwrap().push(SuperstepStats {
                 workers,
                 active: ran_total,
                 messages_sent: sent,
                 messages_delivered: delivered_total,
+                messages_combined_sender: combined_total,
+                buffers,
             });
             let mut globals = sh.globals.lock().unwrap();
             let mut mc = MasterContext {
@@ -518,7 +629,12 @@ fn worker_loop<P>(
         };
         if reactivate {
             st.active.iter_mut().for_each(|a| *a = true);
+            run_list.clear();
+            run_list.extend(0..k as u32);
+        } else {
+            std::mem::swap(&mut run_list, &mut next_run);
         }
+        next_run.clear();
         if stop {
             break;
         }
@@ -631,6 +747,123 @@ mod tests {
         let s0 = &stats.superstep_stats[0];
         assert_eq!(s0.messages_sent, 30); // 6 vertices x 5 neighbors
         assert_eq!(s0.messages_delivered, 6); // combined to one per vertex
+        // With one worker every send after the first per destination folds
+        // at the sender: 30 sends - 6 destinations = 24 folds, leaving the
+        // receiver backstop nothing to do.
+        assert_eq!(s0.messages_combined_sender, 24);
+    }
+
+    #[test]
+    fn sender_combining_depends_on_worker_count() {
+        let g = generators::complete(6);
+        for (workers, expect_combined) in [(1usize, 24u64), (2, 18)] {
+            let cfg = PregelConfig::default().with_workers(workers);
+            let (values, stats) = run(&MinProp, &g, &cfg);
+            assert!(values.iter().all(|&v| v == 0), "W={workers}");
+            let s0 = &stats.superstep_stats[0];
+            // sent and delivered are worker-count independent by design...
+            assert_eq!(s0.messages_sent, 30, "W={workers}");
+            assert_eq!(s0.messages_delivered, 6, "W={workers}");
+            // ...while the sender-side fold count is a transport observable:
+            // with W=2 each destination receives one shipped message per
+            // sender worker (3 senders each fold 5->... per side), so only
+            // 30 - 6*2 = 18 sends fold at the sender.
+            assert_eq!(s0.messages_combined_sender, expect_combined, "W={workers}");
+        }
+    }
+
+    #[test]
+    fn per_vertex_tracking_disables_sender_combining() {
+        let g = generators::complete(6);
+        let cfg = PregelConfig::single_worker().with_per_vertex_tracking();
+        let (values, stats) = run(&MinProp, &g, &cfg);
+        assert!(values.iter().all(|&v| v == 0));
+        let s0 = &stats.superstep_stats[0];
+        // The receiver backstop still combines down to one per inbox, but
+        // no send folds at the sender, so per-message receive counts stay
+        // exact for the BPPA observables.
+        assert_eq!(s0.messages_sent, 30);
+        assert_eq!(s0.messages_delivered, 6);
+        assert_eq!(s0.messages_combined_sender, 0);
+        let pv = stats.per_vertex.unwrap();
+        assert!(pv.max_received.iter().all(|&r| r == 5));
+    }
+
+    #[test]
+    fn steady_state_supersteps_allocate_no_message_buffers() {
+        let g = generators::gnm_connected(64, 200, 7);
+        for workers in [1usize, 3] {
+            let cfg = PregelConfig::default().with_workers(workers);
+            let (_, stats) = run(&Flood { rounds: 6 }, &g, &cfg);
+            assert!(stats.supersteps() >= 6, "W={workers}");
+            for (i, s) in stats.superstep_stats.iter().enumerate().skip(2) {
+                // After the two-superstep warmup the lane/outbox/scratch
+                // swap cycle is closed: nothing on the message path is
+                // allocated again.
+                assert_eq!(
+                    s.buffers.allocated, 0,
+                    "superstep {i} allocated buffers at W={workers}"
+                );
+                if i < stats.superstep_stats.len() - 1 {
+                    assert!(
+                        s.buffers.recycled > 0,
+                        "superstep {i} recycled nothing at W={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inbox_capacity_retained_across_supersteps() {
+        let g = generators::gnm_connected(64, 200, 7);
+        let cfg = PregelConfig::single_worker();
+        let (_, stats) = run(&Flood { rounds: 6 }, &g, &cfg);
+        let caps: Vec<u64> = stats
+            .superstep_stats
+            .iter()
+            .map(|s| s.buffers.inbox_capacity)
+            .collect();
+        // Superstep 0 runs before any delivery, so inboxes hold no
+        // capacity yet; afterwards every vertex keeps the allocation its
+        // busiest superstep needed (Flood has constant traffic, so the
+        // retained total is stable — the regression this guards against is
+        // the old `mem::take` dropping capacity every superstep).
+        assert_eq!(caps[0], 0);
+        assert!(caps[2] > 0);
+        assert_eq!(caps[2], caps[3]);
+        assert_eq!(caps[3], caps[4]);
+    }
+
+    #[test]
+    fn partitioning_env_override_validates() {
+        use crate::partition::Partitioning;
+        // Valid values win over the fallback, case-insensitively.
+        assert_eq!(
+            PregelConfig::partitioning_from_env(Some("range"), Partitioning::Hash),
+            Partitioning::Range
+        );
+        assert_eq!(
+            PregelConfig::partitioning_from_env(Some(" Hash "), Partitioning::Range),
+            Partitioning::Hash
+        );
+        assert_eq!(
+            PregelConfig::partitioning_from_env(Some("RANGE"), Partitioning::Hash),
+            Partitioning::Range
+        );
+        // Unset, empty, or misspelled values fall back.
+        assert_eq!(
+            PregelConfig::partitioning_from_env(None, Partitioning::Hash),
+            Partitioning::Hash
+        );
+        assert_eq!(
+            PregelConfig::partitioning_from_env(Some(""), Partitioning::Range),
+            Partitioning::Range
+        );
+        assert_eq!(
+            PregelConfig::partitioning_from_env(Some("round-robin"), Partitioning::Hash),
+            Partitioning::Hash
+        );
     }
 
     /// Aggregator test: sums vertex ids in superstep 0, master halts after

@@ -56,6 +56,7 @@ pub mod engine;
 pub mod gas;
 pub mod metrics;
 pub mod partition;
+pub(crate) mod pool;
 pub mod program;
 pub mod state_size;
 

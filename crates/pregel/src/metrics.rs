@@ -29,17 +29,56 @@ pub struct WorkerStats {
     pub wall: Duration,
 }
 
+/// Message-plane buffer accounting for one superstep, summed over workers.
+///
+/// The engine recycles every message-path buffer (outgoing lanes, outbox
+/// slots, inboxes) across supersteps; after a short warmup, steady-state
+/// supersteps must report `allocated == 0`. See `crate::pool` for the
+/// recycling scheme these counters observe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Message-path buffers that entered service with no capacity (a fresh
+    /// allocation): startup and first-use events only, in steady state 0.
+    pub allocated: u64,
+    /// Buffers reused with their capacity intact via the recycling cycle.
+    pub recycled: u64,
+    /// Total inbox capacity (in messages) retained by the vertices that ran
+    /// `compute` this superstep — stable across steady-state supersteps
+    /// because cleared inboxes keep their allocation.
+    pub inbox_capacity: u64,
+}
+
 /// Aggregated observables for one superstep.
+///
+/// The three message counters measure different layers of the plane:
+/// [`messages_sent`](Self::messages_sent) is what the *algorithm* produced
+/// (one per [`crate::Context::send`], before any combining — the paper's
+/// message complexity); [`messages_combined_sender`](Self::messages_combined_sender)
+/// is how many of those sends were folded into an already-buffered message
+/// at the sender and therefore never materialized;
+/// [`messages_delivered`](Self::messages_delivered) is what reached vertex
+/// inboxes after the receiver-side combining backstop. Without a combiner,
+/// `sent == delivered` and `combined == 0`; with one,
+/// `delivered <= sent - messages_combined_sender`.
 #[derive(Debug, Clone, Default)]
 pub struct SuperstepStats {
     /// One entry per worker.
     pub workers: Vec<WorkerStats>,
     /// Vertices that executed `compute` this superstep.
     pub active: usize,
-    /// Total messages sent (pre-combine).
+    /// Total messages sent at the algorithm level (pre-combine).
     pub messages_sent: u64,
-    /// Total messages delivered to inboxes (post-combine).
+    /// Total messages delivered to inboxes (post-combine, both stages).
     pub messages_delivered: u64,
+    /// Sends folded into an existing per-destination entry inside a
+    /// sender's buffers (zero without a combiner, and in per-vertex
+    /// tracking mode, where the sender stage is disabled). Unlike the two
+    /// counters above this is a transport observable: it depends on the
+    /// worker count and partitioning, because only messages that share a
+    /// sender worker can be combined there.
+    pub messages_combined_sender: u64,
+    /// Buffer recycling observables for this superstep.
+    pub buffers: BufferStats,
 }
 
 impl SuperstepStats {
@@ -172,9 +211,7 @@ mod tests {
     fn stats_with(workers: Vec<WorkerStats>) -> SuperstepStats {
         SuperstepStats {
             workers,
-            active: 0,
-            messages_sent: 0,
-            messages_delivered: 0,
+            ..Default::default()
         }
     }
 
@@ -259,6 +296,7 @@ mod tests {
                 active: 1,
                 messages_sent: i,
                 messages_delivered: i,
+                ..Default::default()
             });
         }
         assert_eq!(r.supersteps(), 3);

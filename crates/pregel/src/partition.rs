@@ -21,10 +21,18 @@ pub enum Partitioning {
 }
 
 /// A resolved partitioning for a concrete `(n, W)`.
+///
+/// `owner`/`local_index` sit on the per-message hot path (one owner lookup
+/// per send, one local-index lookup per delivery), so for power-of-two
+/// worker counts the hash strategy's `%`/`/` are strength-reduced to
+/// mask/shift — hardware division is tens of cycles, comparable to the
+/// rest of the per-message work combined.
 #[derive(Debug, Clone, Copy)]
 pub struct Partitioner {
     strategy: Partitioning,
     num_workers: usize,
+    /// `log2(W)` when `W` is a power of two; `u32::MAX` otherwise.
+    shift: u32,
     /// Range block size (`ceil(n / W)`); unused for hash.
     block: usize,
 }
@@ -36,6 +44,11 @@ impl Partitioner {
         Partitioner {
             strategy,
             num_workers: w,
+            shift: if w.is_power_of_two() {
+                w.trailing_zeros()
+            } else {
+                u32::MAX
+            },
             block: n.div_ceil(w).max(1),
         }
     }
@@ -44,7 +57,13 @@ impl Partitioner {
     #[inline]
     pub fn owner(&self, v: VertexId) -> usize {
         match self.strategy {
-            Partitioning::Hash => v as usize % self.num_workers,
+            Partitioning::Hash => {
+                if self.shift != u32::MAX {
+                    v as usize & (self.num_workers - 1)
+                } else {
+                    v as usize % self.num_workers
+                }
+            }
             Partitioning::Range => (v as usize / self.block).min(self.num_workers - 1),
         }
     }
@@ -53,7 +72,13 @@ impl Partitioner {
     #[inline]
     pub fn local_index(&self, v: VertexId) -> usize {
         match self.strategy {
-            Partitioning::Hash => v as usize / self.num_workers,
+            Partitioning::Hash => {
+                if self.shift != u32::MAX {
+                    v as usize >> self.shift
+                } else {
+                    v as usize / self.num_workers
+                }
+            }
             Partitioning::Range => v as usize - self.owner(v) * self.block,
         }
     }
@@ -105,6 +130,19 @@ mod tests {
         assert_eq!(p.owner(4), 1);
         assert_eq!(p.owner(9), 2);
         assert_eq!(p.local_index(9), 1);
+    }
+
+    #[test]
+    fn power_of_two_fast_path_matches_division() {
+        // The mask/shift fast path must agree with the plain `%`/`/`
+        // formulas for every strategy-independent input.
+        for w in [1usize, 2, 3, 4, 5, 6, 7, 8, 16] {
+            let p = Partitioner::new(Partitioning::Hash, 1000, w);
+            for v in 0..1000u32 {
+                assert_eq!(p.owner(v), v as usize % w, "owner v={v} w={w}");
+                assert_eq!(p.local_index(v), v as usize / w, "local v={v} w={w}");
+            }
+        }
     }
 
     #[test]

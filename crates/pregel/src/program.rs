@@ -2,6 +2,7 @@
 
 use crate::aggregate::{AggValue, AggregatorDef};
 use crate::partition::Partitioner;
+use crate::pool::{DirectTable, Lane, DIRECT_INDEX_MAX_VERTICES};
 use crate::state_size::StateSize;
 use vcgp_graph::rng::{mix3, SplitMix64};
 use vcgp_graph::{Graph, VertexId};
@@ -26,10 +27,14 @@ pub trait VertexProgram: Sync {
     /// The per-vertex kernel.
     fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[Self::Message]);
 
-    /// Optional sender-side message combiner: folds `msg` into `acc` for
-    /// messages addressed to the same destination vertex. Must be
-    /// commutative and associative. Return `None` (the default) to deliver
-    /// all messages individually.
+    /// Optional message combiner: folds the second message into the first
+    /// for messages addressed to the same destination vertex. Must be
+    /// commutative and associative. Applied twice: once *at the sender*
+    /// while messages are buffered (so each sender worker ships at most one
+    /// message per destination vertex), and once at the receiver as the
+    /// cross-sender backstop. With per-vertex tracking enabled the sender
+    /// stage is skipped so per-message receive counts stay exact. Return
+    /// `None` (the default) to deliver all messages individually.
     fn combiner(&self) -> Option<Combiner<Self::Message>> {
         None
     }
@@ -54,15 +59,80 @@ pub trait VertexProgram: Sync {
 }
 
 /// Outgoing message buffers for one worker, bucketed by destination worker.
+///
+/// Lives for the whole run (buffers and combining tables are recycled
+/// across supersteps, see [`crate::pool`]). When constructed with a
+/// combiner, messages to the same destination vertex are folded *in the
+/// sender's lane* as they are sent — in send order, so results stay
+/// deterministic — and only one entry per (sender worker, destination
+/// vertex) is ever materialized and shipped.
 pub(crate) struct Outgoing<M> {
-    pub(crate) bufs: Vec<Vec<(VertexId, M)>>,
+    pub(crate) lanes: Vec<Lane<M>>,
+    /// Direct-mapped combining index (one slot per graph vertex, shared by
+    /// every lane — a destination determines its lane uniquely). Present
+    /// when combining on a graph small enough to afford it; larger graphs
+    /// use the per-lane open-addressing tables instead.
+    direct: Option<DirectTable>,
+    combiner: Option<Combiner<M>>,
+    /// Sends folded into an existing lane entry this superstep (the
+    /// per-worker `combined_at_sender` observable).
+    pub(crate) combined: u64,
 }
 
 impl<M> Outgoing<M> {
-    pub(crate) fn new(num_workers: usize) -> Self {
+    /// `combiner` enables sender-side combining; pass `None` to buffer
+    /// every send individually (no combiner, or per-vertex tracking mode,
+    /// which needs per-message receive counts).
+    pub(crate) fn new(
+        num_workers: usize,
+        num_vertices: usize,
+        combiner: Option<Combiner<M>>,
+    ) -> Self {
+        let direct = if combiner.is_some() && num_vertices <= DIRECT_INDEX_MAX_VERTICES {
+            Some(DirectTable::new(num_vertices))
+        } else {
+            None
+        };
         Outgoing {
-            bufs: (0..num_workers).map(|_| Vec::new()).collect(),
+            lanes: (0..num_workers).map(|_| Lane::new()).collect(),
+            direct,
+            combiner,
+            combined: 0,
         }
+    }
+
+    /// Buffers `msg` for vertex `to` owned by worker `owner`, folding it
+    /// into an already-buffered message to the same vertex when combining.
+    #[inline]
+    pub(crate) fn push(&mut self, owner: usize, to: VertexId, msg: M) {
+        let lane = &mut self.lanes[owner];
+        if let Some(combine) = self.combiner {
+            let hit = match &mut self.direct {
+                Some(t) => t.find_or_insert(to, lane.buf.len()),
+                None => lane.table.find_or_insert(to, &lane.buf),
+            };
+            if let Some(i) = hit {
+                combine(&mut lane.buf[i].1, msg);
+                lane.folded += 1;
+                self.combined += 1;
+                return;
+            }
+        }
+        lane.buf.push((to, msg));
+    }
+
+    /// Resets per-superstep state after a flush: combining indexes become
+    /// logically empty, the fold counter restarts. Lane buffers are managed
+    /// by the flush itself (they are swapped with parked outbox vectors).
+    pub(crate) fn begin_superstep(&mut self) {
+        for lane in &mut self.lanes {
+            debug_assert!(lane.buf.is_empty() && lane.folded == 0, "lane not flushed");
+            lane.table.advance();
+        }
+        if let Some(t) = &mut self.direct {
+            t.advance();
+        }
+        self.combined = 0;
     }
 }
 
@@ -142,7 +212,7 @@ impl<'a, P: VertexProgram + ?Sized> Context<'a, P> {
             "message to out-of-range vertex {to}"
         );
         let w = self.partitioner.owner(to);
-        self.out.bufs[w].push((to, msg));
+        self.out.push(w, to, msg);
         *self.sent += 1;
         *self.work += 1;
     }

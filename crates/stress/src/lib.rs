@@ -23,13 +23,14 @@
 //!   (or unthrottled), coordinated-omission-corrected latency plus pure
 //!   service time in mergeable log-bucketed histograms, and JSON/markdown
 //!   reports via `vcgp-testkit`'s emitters;
-//! * [`json`] — a minimal JSON reader used to validate the driver's own
-//!   reports.
+//! * [`json`] — a minimal JSON reader (hosted in `vcgp-testkit` so bench
+//!   binaries can gate on their own reports too) used to validate the
+//!   driver's reports.
 //!
 //! Run the driver with `cargo run --release -p vcgp-stress --bin stress`.
 
 pub mod driver;
-pub mod json;
+pub use vcgp_testkit::json;
 pub mod mix;
 pub mod rate;
 pub mod request;

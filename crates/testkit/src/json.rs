@@ -1,6 +1,6 @@
-//! A minimal JSON reader — just enough to validate the driver's own
-//! reports (well-formedness plus field lookups) without an external
-//! parser crate.
+//! A minimal JSON reader — just enough for report producers (the stress
+//! driver, the engine bench) to validate the documents they emit
+//! (well-formedness plus field lookups) without an external parser crate.
 //!
 //! Supports the full JSON grammar except `\u` surrogate pairs are decoded
 //! permissively (lone surrogates become U+FFFD). Numbers are read as `f64`.

@@ -17,11 +17,14 @@
 //!   producers reuse via [`bench::write_report`].
 //! * [`hist`] — a log-bucketed (HDR-style) mergeable histogram for latency
 //!   recording, used by the `vcgp-stress` workload driver.
+//! * [`json`] — a minimal JSON reader, so bench binaries and the stress
+//!   driver can validate the reports they emit without an external parser.
 //!
 //! All modules use only `std` plus `vcgp-graph`'s deterministic RNG.
 
 pub mod bench;
 pub mod hist;
+pub mod json;
 pub mod prop;
 
 pub use hist::LogHistogram;

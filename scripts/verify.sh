@@ -41,6 +41,11 @@ cargo test -q --workspace --offline
 echo "== cargo bench -p vcgp-bench --no-run --offline (benches must compile)"
 cargo bench -p vcgp-bench --no-run --offline
 
+echo "== engine bench smoke (reduced profile, gated on well-formed JSON)"
+VCGP_ENGINE_BENCH_PROFILE=smoke cargo bench -p vcgp-bench --bench engine --offline
+cargo bench -p vcgp-bench --bench engine --offline -- \
+    --validate target/vcgp-bench/BENCH_engine.json
+
 echo "== stress smoke (2 s paced load, gated on valid JSON and zero errors)"
 ./target/release/stress --gen gnm-connected:512:2048:7 --duration 2 --rate 500 \
     --seed 7 --mix points --name smoke --quiet

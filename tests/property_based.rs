@@ -4,7 +4,9 @@
 
 use vcgp::algorithms as vc;
 use vcgp::graph::{generators, io, Graph, GraphBuilder, INVALID_VERTEX};
-use vcgp::pregel::PregelConfig;
+use vcgp::pregel::{
+    run_with_values, AggOp, AggValue, AggregatorDef, Context, PregelConfig, VertexProgram,
+};
 use vcgp::sequential as seq;
 use vcgp_testkit::prop::{any_u64, Strategy};
 use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
@@ -33,6 +35,44 @@ fn arb_sim_input() -> impl Strategy<Value = (Graph, Graph)> {
         let d = generators::labeled_digraph(n, m, 3, seed ^ 0xABCD);
         (q, d)
     })
+}
+
+/// Min-label propagation with explicit initial values, an aggregator whose
+/// running value every vertex echoes into its state, and a switchable
+/// combiner — the full observable surface of the message plane, used by
+/// `message_plane_determinism_across_workers`.
+struct MinLabel {
+    use_combiner: bool,
+}
+
+impl VertexProgram for MinLabel {
+    /// (current label, aggregator value read this superstep).
+    type Value = (u32, i64);
+    type Message = u32;
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u32]) {
+        ctx.value_mut().1 = ctx.read_aggregate(0).as_i64();
+        let current = ctx.value().0;
+        let best = msgs.iter().copied().min().map_or(current, |m| m.min(current));
+        if ctx.superstep() == 0 || best < current {
+            ctx.value_mut().0 = best;
+            ctx.aggregate(0, AggValue::I64(1));
+            ctx.send_to_all_out_neighbors(best);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combiner(&self) -> Option<fn(&mut u32, u32)> {
+        if self.use_combiner {
+            Some(|acc, m| *acc = (*acc).min(m))
+        } else {
+            None
+        }
+    }
+
+    fn aggregators(&self) -> Vec<AggregatorDef> {
+        vec![AggregatorDef::new("changed", AggOp::SumI64)]
+    }
 }
 
 vcgp_props! {
@@ -138,6 +178,38 @@ vcgp_props! {
         let sq = seq::tree::tree_order(&t, 0);
         prop_assert_eq!(r.pre, sq.pre);
         prop_assert_eq!(r.post, sq.post);
+    }
+
+    fn message_plane_determinism_across_workers(g in arb_connected(), workers in 2usize..6) {
+        // Final values (labels *and* echoed aggregator trajectories), message
+        // totals, and superstep counts must not depend on the worker count —
+        // with or without a combiner (i.e. with and without the sender-side
+        // combining stage engaged).
+        for use_combiner in [false, true] {
+            let prog = MinLabel { use_combiner };
+            let init: Vec<(u32, i64)> =
+                (0..g.num_vertices()).map(|v| (v as u32, 0)).collect();
+            let (base_vals, base_stats) =
+                run_with_values(&prog, &g, init.clone(), &PregelConfig::single_worker());
+            let (vals, stats) = run_with_values(
+                &prog,
+                &g,
+                init,
+                &PregelConfig::default().with_workers(workers),
+            );
+            prop_assert_eq!(&base_vals, &vals);
+            prop_assert_eq!(base_stats.total_messages(), stats.total_messages());
+            prop_assert_eq!(base_stats.supersteps(), stats.supersteps());
+            // Delivered counts are post-combine but still worker-count
+            // independent, superstep by superstep.
+            for (a, b) in base_stats
+                .superstep_stats
+                .iter()
+                .zip(&stats.superstep_stats)
+            {
+                prop_assert_eq!(a.messages_delivered, b.messages_delivered);
+            }
+        }
     }
 
     fn parallel_engine_is_deterministic(g in arb_graph(), workers in 2usize..6) {
