@@ -4,8 +4,9 @@
 //! ```text
 //! stress [--gen SPEC | --graph FILE [--directed]]
 //!        [--duration SECS] [--ops N] [--rate OPS_S] [--burst N]
-//!        [--clients N] [--executors N] [--queue N]
-//!        [--mix points|mixed|analytics] [--seed N]
+//!        [--clients N] [--executors N] [--queue N] [--shards N]
+//!        [--queue-policy block|reject]
+//!        [--mix points|mixed|analytics|hotspot|scatter] [--seed N]
 //!        [--timeout-ms N] [--retries N] [--name NAME] [--quiet]
 //! stress --validate-report FILE
 //! ```
@@ -26,7 +27,8 @@ use vcgp_graph::{generators, io, Graph};
 use vcgp_stress::driver::{self, DriverConfig};
 use vcgp_stress::json;
 use vcgp_stress::mix::Mix;
-use vcgp_stress::service::{GraphService, ServiceConfig};
+use vcgp_stress::service::{GraphService, QueueFullPolicy, ServiceConfig};
+use vcgp_stress::shard::ShardedGraphService;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,8 +67,11 @@ fn usage() {
          --burst N         bucket burst allowance (default 1)\n  \
          --clients N       concurrent client threads (default 4)\n  \
          --executors N     service executor threads (default: cores, max 4)\n  \
-         --queue N         service queue capacity (default 128)\n  \
-         --mix NAME        points | mixed | analytics (default points)\n  \
+         --queue N         service queue capacity, per shard (default 128)\n  \
+         --shards N        shard the service N ways (default 1 = unsharded)\n  \
+         --queue-policy P  block (backpressure) | reject (shed) when full\n  \
+         --mix NAME        points | mixed | analytics | hotspot | scatter\n                    \
+         (default points)\n  \
          --seed N          operation-stream seed (default 7)\n  \
          --timeout-ms N    per-attempt timeout (default 5000)\n  \
          --retries N       max attempts per request (default 3)\n  \
@@ -133,9 +138,17 @@ fn run(args: &[String]) -> Result<(), String> {
     let graph = Arc::new(build_graph(args)?);
     let mix = Mix::preset(flag_value(args, "--mix").unwrap_or("points"), &graph)?;
 
+    let shards: usize = parse_flag(args, "--shards", 1usize)?;
+    if shards < 1 {
+        return Err("--shards must be at least 1".to_string());
+    }
     let service_cfg = ServiceConfig {
         executors: parse_flag(args, "--executors", ServiceConfig::default().executors)?,
         queue_capacity: parse_flag(args, "--queue", 128usize)?,
+        queue_policy: flag_value(args, "--queue-policy")
+            .map(QueueFullPolicy::parse)
+            .transpose()?
+            .unwrap_or_default(),
         max_attempts: parse_flag(args, "--retries", 3u32)?,
         seed: parse_flag(args, "--seed", 7u64)?,
         ..ServiceConfig::default()
@@ -152,7 +165,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if !quiet {
         println!(
-            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors",
+            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors, {} shard{}",
             graph.num_vertices(),
             graph.num_edges(),
             if graph.is_directed() { "directed" } else { "undirected" },
@@ -160,12 +173,22 @@ fn run(args: &[String]) -> Result<(), String> {
             mix.workloads().len(),
             driver_cfg.clients,
             service_cfg.executors,
+            shards,
+            if shards == 1 { "" } else { "s" },
         );
     }
 
-    let service = GraphService::start(Arc::clone(&graph), service_cfg);
-    let report = driver::run(&service, &mix, &driver_cfg);
-    service.shutdown();
+    let report = if shards > 1 {
+        let service = ShardedGraphService::start(Arc::clone(&graph), service_cfg, shards);
+        let report = driver::run(&service, &mix, &driver_cfg);
+        service.shutdown();
+        report
+    } else {
+        let service = GraphService::start(Arc::clone(&graph), service_cfg);
+        let report = driver::run(&service, &mix, &driver_cfg);
+        service.shutdown();
+        report
+    };
 
     let report_name = format!("stress_{name}");
     let json_text = report.to_json(&report_name);
@@ -202,12 +225,38 @@ fn validate_report(path: &str) -> Result<String, String> {
             .and_then(json::Value::as_f64)
             .ok_or_else(|| format!("{path}: missing numeric field {key:?}"))
     };
-    for key in ["latency_ns", "service_ns"] {
+    for key in ["latency_ns", "service_ns", "gather_ns"] {
         let h = doc.get(key).ok_or_else(|| format!("{path}: missing {key:?}"))?;
         for q in ["p50", "p90", "p99", "p999", "max"] {
             h.get(q)
                 .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("{path}: missing {key}.{q}"))?;
+        }
+    }
+    let shards = num("shards")?;
+    for key in ["routed", "scattered", "rejects", "early_drops"] {
+        num(key)?;
+    }
+    // Per-shard occupancy: one entry per shard, each with identity and
+    // counter fields.
+    let per_shard = match doc.get("per_shard") {
+        Some(json::Value::Array(entries)) => entries,
+        Some(_) => return Err(format!("{path}: per_shard is not an array")),
+        None => return Err(format!("{path}: missing \"per_shard\"")),
+    };
+    if per_shard.len() != shards as usize {
+        return Err(format!(
+            "{path}: per_shard has {} entries for {} shards",
+            per_shard.len(),
+            shards
+        ));
+    }
+    for (i, entry) in per_shard.iter().enumerate() {
+        for key in ["shard", "owned", "completed", "failed", "queue_hwm"] {
+            entry
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{path}: per_shard[{i}] missing {key:?}"))?;
         }
     }
     let ops = num("ops")?;

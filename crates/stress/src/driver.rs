@@ -1,18 +1,26 @@
 //! The load driver: client threads issuing a deterministic, seeded
-//! operation mix against a [`GraphService`], paced by a token bucket (or
-//! unthrottled), recording latencies into mergeable log-bucketed
-//! histograms.
+//! operation mix against a [`StressTarget`] (the single-instance
+//! [`GraphService`](crate::service::GraphService) or the sharded service),
+//! paced by a token bucket (or unthrottled), recording latencies into
+//! mergeable log-bucketed histograms.
 //!
 //! **Coordinated omission.** When a rate is configured, each operation has
 //! an *intended* start time on the fixed schedule `i · interval` and its
 //! latency is measured from that intended time — so a stalled server is
 //! charged for the operations that queued up behind the stall, not silently
 //! excused. The separate service-time histogram measures execution only.
+//!
+//! **Sharding visibility.** Clients count routed-vs-scattered dispatches
+//! from each response's [`Route`] and record the gather straggler penalty
+//! of scattered operations; at the end of the run the target's per-shard
+//! snapshots contribute occupancy (queue high-water marks), rejects, and
+//! early drops to the report.
 
 use crate::mix::Mix;
 use crate::rate::TokenBucket;
-use crate::request::{QueryError, QueryRequest};
-use crate::service::{GraphService, SubmitError};
+use crate::request::{QueryError, QueryRequest, Route};
+use crate::router::StressTarget;
+use crate::service::{ShardSnapshot, SubmitError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -70,6 +78,8 @@ pub struct StressReport {
     pub rate: Option<f64>,
     /// Burst allowance.
     pub burst: u32,
+    /// Shards of the target service (1 = unsharded).
+    pub shards: usize,
     /// Wall-clock time actually spent.
     pub elapsed: Duration,
     /// Operations completed (ok + errored).
@@ -84,11 +94,27 @@ pub struct StressReport {
     pub timeouts: u64,
     /// Retry attempts beyond each operation's first.
     pub retries: u64,
+    /// Operations owner-routed to a single shard (or run whole on the
+    /// primary shard).
+    pub routed: u64,
+    /// Operations scattered to every shard and gather-merged.
+    pub scattered: u64,
+    /// Requests shed at submission under the reject queue policy (from the
+    /// service's counters).
+    pub rejects: u64,
+    /// Requests dropped at dequeue with an already-expired deadline (from
+    /// the service's counters; disjoint from `timeouts`).
+    pub early_drops: u64,
     /// End-to-end latency in nanoseconds; coordinated-omission-corrected
     /// (measured from the intended schedule) when a rate is set.
     pub latency: LogHistogram,
     /// Pure execution time in nanoseconds (excludes queueing and backoff).
     pub service_time: LogHistogram,
+    /// Gather straggler penalty in nanoseconds, recorded per scattered
+    /// operation (empty when nothing scattered).
+    pub gather: LogHistogram,
+    /// Per-shard identity + counters snapshot at the end of the run.
+    pub per_shard: Vec<ShardSnapshot>,
 }
 
 impl StressReport {
@@ -118,18 +144,33 @@ impl StressReport {
                 h.max()
             )
         };
+        let per_shard = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\": {}, \"owned\": {}, \"completed\": {}, \"failed\": {}, \
+                     \"queue_hwm\": {}}}",
+                    s.shard, s.owned, s.stats.completed, s.stats.failed, s.stats.queue_hwm
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
-             \"rate\": {},\n  \"burst\": {},\n  \"elapsed_s\": {:.3},\n  \"ops\": {},\n  \
-             \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \"timeouts\": {},\n  \
-             \"retries\": {},\n  \"throughput_ops_s\": {:.1},\n  \"latency_ns\": {},\n  \
-             \"service_ns\": {}\n}}\n",
+             \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"elapsed_s\": {:.3},\n  \
+             \"ops\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \
+             \"timeouts\": {},\n  \"retries\": {},\n  \"routed\": {},\n  \"scattered\": {},\n  \
+             \"rejects\": {},\n  \"early_drops\": {},\n  \"throughput_ops_s\": {:.1},\n  \
+             \"latency_ns\": {},\n  \"service_ns\": {},\n  \"gather_ns\": {},\n  \
+             \"per_shard\": [{}]\n}}\n",
             json_escape(name),
             json_escape(&self.mix),
             self.seed,
             self.clients,
             self.rate.map_or("null".to_string(), |r| format!("{r:.1}")),
             self.burst,
+            self.shards,
             self.elapsed.as_secs_f64(),
             self.ops,
             self.ok,
@@ -137,9 +178,15 @@ impl StressReport {
             self.unsupported,
             self.timeouts,
             self.retries,
+            self.routed,
+            self.scattered,
+            self.rejects,
+            self.early_drops,
             self.throughput(),
             hist(&self.latency),
-            hist(&self.service_time)
+            hist(&self.service_time),
+            hist(&self.gather),
+            per_shard
         )
     }
 
@@ -149,13 +196,15 @@ impl StressReport {
         let mut out = String::new();
         out.push_str(&format!("# Stress run: {name}\n\n"));
         out.push_str(&format!(
-            "mix `{}`, seed {}, {} clients, rate {}, burst {}\n\n",
+            "mix `{}`, seed {}, {} clients, rate {}, burst {}, {} shard{}\n\n",
             self.mix,
             self.seed,
             self.clients,
             self.rate
                 .map_or("unthrottled".to_string(), |r| format!("{r:.0}/s")),
-            self.burst
+            self.burst,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" }
         ));
         out.push_str("| metric | value |\n|---|---|\n");
         out.push_str(&format!("| elapsed | {:.2} s |\n", self.elapsed.as_secs_f64()));
@@ -166,9 +215,21 @@ impl StressReport {
             self.unsupported, self.timeouts
         ));
         out.push_str(&format!("| retries | {} |\n", self.retries));
+        out.push_str(&format!(
+            "| routed / scattered | {} / {} |\n",
+            self.routed, self.scattered
+        ));
+        out.push_str(&format!(
+            "| rejects / early drops | {} / {} |\n",
+            self.rejects, self.early_drops
+        ));
         out.push_str(&format!("| throughput | {:.1} ops/s |\n\n", self.throughput()));
         out.push_str("| histogram (ms) | p50 | p90 | p99 | p99.9 | max |\n|---|---|---|---|---|---|\n");
-        for (label, h) in [("latency", &self.latency), ("service", &self.service_time)] {
+        for (label, h) in [
+            ("latency", &self.latency),
+            ("service", &self.service_time),
+            ("gather", &self.gather),
+        ] {
             out.push_str(&format!(
                 "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
                 label,
@@ -178,6 +239,17 @@ impl StressReport {
                 ms(h.quantile(0.999)),
                 ms(h.max())
             ));
+        }
+        if !self.per_shard.is_empty() {
+            out.push_str(
+                "\n| shard | owned | completed | failed | queue hwm |\n|---|---|---|---|---|\n",
+            );
+            for s in &self.per_shard {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} |\n",
+                    s.shard, s.owned, s.stats.completed, s.stats.failed, s.stats.queue_hwm
+                ));
+            }
         }
         out
     }
@@ -191,13 +263,16 @@ struct ClientStats {
     unsupported: u64,
     timeouts: u64,
     retries: u64,
+    routed: u64,
+    scattered: u64,
     latency: LogHistogram,
     service_time: LogHistogram,
+    gather: LogHistogram,
 }
 
-/// Runs the workload described by `cfg` against `service` and aggregates
-/// every client's measurements.
-pub fn run(service: &GraphService, mix: &Mix, cfg: &DriverConfig) -> StressReport {
+/// Runs the workload described by `cfg` against `target` and aggregates
+/// every client's measurements plus the target's per-shard counters.
+pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> StressReport {
     assert!(cfg.clients >= 1, "need at least one client");
     let next_op = AtomicU64::new(0);
     let bucket = cfg
@@ -213,7 +288,7 @@ pub fn run(service: &GraphService, mix: &Mix, cfg: &DriverConfig) -> StressRepor
                 let next_op = &next_op;
                 let bucket = &bucket;
                 scope.spawn(move || {
-                    client_loop(service, mix, cfg, next_op, bucket, interval_ns, start, end)
+                    client_loop(target, mix, cfg, next_op, bucket, interval_ns, start, end)
                 })
             })
             .collect();
@@ -229,15 +304,22 @@ pub fn run(service: &GraphService, mix: &Mix, cfg: &DriverConfig) -> StressRepor
         total.unsupported += c.unsupported;
         total.timeouts += c.timeouts;
         total.retries += c.retries;
+        total.routed += c.routed;
+        total.scattered += c.scattered;
         total.latency.merge(&c.latency);
         total.service_time.merge(&c.service_time);
+        total.gather.merge(&c.gather);
     }
+    let per_shard = target.shard_snapshots();
+    let rejects = per_shard.iter().map(|s| s.stats.rejected).sum();
+    let early_drops = per_shard.iter().map(|s| s.stats.early_drops).sum();
     StressReport {
         mix: mix.name().to_string(),
         seed: cfg.seed,
         clients: cfg.clients,
         rate: cfg.rate,
         burst: cfg.burst,
+        shards: target.num_shards(),
         elapsed,
         ops: total.ops,
         ok: total.ok,
@@ -245,14 +327,20 @@ pub fn run(service: &GraphService, mix: &Mix, cfg: &DriverConfig) -> StressRepor
         unsupported: total.unsupported,
         timeouts: total.timeouts,
         retries: total.retries,
+        routed: total.routed,
+        scattered: total.scattered,
+        rejects,
+        early_drops,
         latency: total.latency,
         service_time: total.service_time,
+        gather: total.gather,
+        per_shard,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn client_loop(
-    service: &GraphService,
+fn client_loop<T: StressTarget>(
+    target: &T,
     mix: &Mix,
     cfg: &DriverConfig,
     next_op: &AtomicU64,
@@ -308,7 +396,7 @@ fn client_loop(
         let req = QueryRequest::new(i, mix.op(cfg.seed, i))
             .with_seed(mix3(cfg.seed, i, REQ_STREAM))
             .with_timeout(cfg.timeout);
-        let ticket = match service.submit(req) {
+        let ticket = match target.submit_op(req) {
             Ok(t) => t,
             Err(SubmitError::Closed | SubmitError::Full) => break,
         };
@@ -316,6 +404,14 @@ fn client_loop(
         let done = Instant::now();
         stats.ops += 1;
         stats.retries += u64::from(resp.retries());
+        match resp.route {
+            Route::Direct => {}
+            Route::Routed { .. } => stats.routed += 1,
+            Route::Scattered { .. } => {
+                stats.scattered += 1;
+                stats.gather.record(resp.gather_wait.as_nanos() as u64);
+            }
+        }
         stats
             .latency
             .record(done.saturating_duration_since(intended).as_nanos() as u64);

@@ -13,7 +13,14 @@
 //! * [`service`] — [`service::GraphService`]: the graph loaded once behind
 //!   an [`std::sync::Arc`], a bounded MPMC job queue, OS-thread executors,
 //!   post-hoc timeouts with bounded seeded-jitter retries, contained
-//!   panics, and graceful draining shutdown;
+//!   panics, queue-full admission policies (block / reject), deadline
+//!   early drops, and graceful draining shutdown;
+//! * [`shard`] + [`router`] — the sharded service:
+//!   [`shard::ShardedGraphService`] splits vertex ownership across S
+//!   shard-local cores (placement via the engine's partitioner, so
+//!   `VCGP_PARTITIONING` applies) and the router owner-routes point
+//!   lookups, scatters gather-mergeable analytics with typed partial
+//!   merges, and falls back to a primary shard for the rest;
 //! * [`rate`] — a GCRA token bucket over integer nanoseconds, exactly
 //!   testable because it never reads a clock;
 //! * [`mix`] — deterministic operation mixes: `(seed, index) → operation`
@@ -34,10 +41,16 @@ pub use vcgp_testkit::json;
 pub mod mix;
 pub mod rate;
 pub mod request;
+pub mod router;
 pub mod service;
+pub mod shard;
 
 pub use driver::{run, DriverConfig, StressReport};
 pub use mix::Mix;
 pub use rate::TokenBucket;
-pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse};
-pub use service::{GraphService, ServiceConfig, ServiceStats, SubmitError, Ticket};
+pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
+pub use router::{AnyTicket, GatherTicket, StressTarget};
+pub use service::{
+    GraphService, QueueFullPolicy, ServiceConfig, ServiceStats, ShardSnapshot, SubmitError, Ticket,
+};
+pub use shard::ShardedGraphService;

@@ -38,7 +38,9 @@ pub struct Mix {
     name: &'static str,
     point_pct: u64,
     workloads: Vec<Workload>,
-    num_vertices: usize,
+    /// Point lookups draw vertex ids from `[0, vertex_span)` — the full
+    /// graph for the uniform presets, a small low-id prefix for `hotspot`.
+    vertex_span: usize,
 }
 
 impl Mix {
@@ -46,7 +48,14 @@ impl Mix {
     ///
     /// * `points` — 100 % point lookups (degree / neighbor reads);
     /// * `mixed` — 80 % point lookups, 20 % analytics workloads;
-    /// * `analytics` — 100 % analytics workloads.
+    /// * `analytics` — 100 % analytics workloads;
+    /// * `hotspot` — 100 % point lookups over the lowest `max(1, n/8)`
+    ///   vertex ids: a contiguous hot set, so under range shard placement
+    ///   every request lands on one shard while hash placement spreads it —
+    ///   the shard-locality probe;
+    /// * `scatter` — 100 % analytics restricted to gather-mergeable
+    ///   workloads: every operation fans out to all shards, the pure
+    ///   scatter/gather stressor.
     ///
     /// The workload pool is the serving-suitable subset of Table 1
     /// intersected with [`vcgp_core::service::supported_workloads`]; a
@@ -56,9 +65,11 @@ impl Mix {
             "points" => ("points", 100),
             "mixed" => ("mixed", 80),
             "analytics" => ("analytics", 0),
+            "hotspot" => ("hotspot", 100),
+            "scatter" => ("scatter", 0),
             other => {
                 return Err(format!(
-                    "unknown mix '{other}' (expected points, mixed, or analytics)"
+                    "unknown mix '{other}' (expected points, mixed, analytics, hotspot, or scatter)"
                 ))
             }
         };
@@ -68,6 +79,10 @@ impl Mix {
             SERVING_WORKLOADS
                 .into_iter()
                 .filter(|&w| service::supported(w, graph).is_ok())
+                .filter(|&w| {
+                    canonical != "scatter"
+                        || service::gather_mode(w) != service::GatherMode::Whole
+                })
                 .collect()
         };
         if point_pct < 100 && workloads.is_empty() {
@@ -75,12 +90,23 @@ impl Mix {
                 "mix '{canonical}' needs analytics workloads, but this graph supports none"
             ));
         }
+        let n = graph.num_vertices();
+        let vertex_span = if canonical == "hotspot" {
+            (n / 8).max(1)
+        } else {
+            n
+        };
         Ok(Mix {
             name: canonical,
             point_pct,
             workloads,
-            num_vertices: graph.num_vertices(),
+            vertex_span,
         })
+    }
+
+    /// The id range point lookups draw from (`n` except for `hotspot`).
+    pub fn vertex_span(&self) -> usize {
+        self.vertex_span
     }
 
     /// The preset name.
@@ -99,7 +125,7 @@ impl Mix {
         let mut rng = SplitMix64::new(mix3(seed, index, MIX_STREAM));
         let roll = rng.next_below(100);
         if roll < self.point_pct {
-            let v = rng.next_index(self.num_vertices) as u32;
+            let v = rng.next_index(self.vertex_span) as u32;
             if rng.next_bool(0.5) {
                 QueryKind::Degree(v)
             } else {

@@ -1,6 +1,7 @@
 //! Typed requests and responses of the graph-query service.
 
 use std::time::{Duration, Instant};
+use vcgp_core::service::Partial;
 use vcgp_core::Workload;
 use vcgp_graph::VertexId;
 
@@ -9,6 +10,11 @@ use vcgp_graph::VertexId;
 pub enum QueryKind {
     /// Run one Table 1 workload end to end on the resident graph.
     Workload(Workload),
+    /// One scattered leg of a workload: compute the executing shard's
+    /// owned-slice partial. Produced by the shard router when it fans an
+    /// analytics request out; a single-instance service treats it as a
+    /// whole-graph partial (it owns every vertex).
+    WorkloadPartial(Workload),
     /// Out-degree of a vertex (point lookup).
     Degree(VertexId),
     /// Out-neighbor list of a vertex (point lookup).
@@ -28,6 +34,7 @@ impl QueryKind {
     pub fn label(&self) -> String {
         match self {
             QueryKind::Workload(w) => format!("{w:?}"),
+            QueryKind::WorkloadPartial(w) => format!("partial:{w:?}"),
             QueryKind::Degree(_) => "degree".to_string(),
             QueryKind::Neighbors(_) => "neighbors".to_string(),
             QueryKind::DebugSleep(_) => "debug-sleep".to_string(),
@@ -100,6 +107,16 @@ pub enum QueryOutput {
         /// Algorithm-level messages the run sent.
         messages: u64,
     },
+    /// One shard's contribution to a scattered workload (merged by the
+    /// router's gather step into a [`QueryOutput::Workload`]).
+    WorkloadPartial {
+        /// The owned-slice partial.
+        partial: Partial,
+        /// Supersteps of this shard's run.
+        supersteps: u64,
+        /// Messages of this shard's run.
+        messages: u64,
+    },
     /// Out-degree.
     Degree(usize),
     /// Out-neighbor list.
@@ -123,6 +140,10 @@ pub enum QueryError {
     },
     /// The absolute deadline passed before an attempt could succeed.
     DeadlineExceeded,
+    /// The queue was full and the service's admission policy is
+    /// [`QueueFullPolicy::Reject`](crate::service::QueueFullPolicy::Reject):
+    /// the request was shed at submission instead of blocking the producer.
+    Rejected,
     /// The execution panicked; the message is the panic payload. The
     /// executor survives — panics are contained per request.
     Panicked(String),
@@ -139,6 +160,7 @@ impl std::fmt::Display for QueryError {
                 write!(f, "timed out after {attempts} attempts")
             }
             QueryError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            QueryError::Rejected => write!(f, "rejected: queue full"),
             QueryError::Panicked(m) => write!(f, "execution panicked: {m}"),
             QueryError::ShuttingDown => write!(f, "service shutting down"),
         }
@@ -146,6 +168,26 @@ impl std::fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
+
+/// How a sharded front-end dispatched a request (echoed in the response so
+/// load drivers can count routed-vs-scattered traffic without asking the
+/// service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Route {
+    /// Answered by a single-instance service (or a non-sharded path).
+    #[default]
+    Direct,
+    /// Owner-routed to exactly one shard.
+    Routed {
+        /// The shard that served the request.
+        shard: u32,
+    },
+    /// Scattered to every shard and gather-merged.
+    Scattered {
+        /// Number of shard legs fanned out.
+        shards: u32,
+    },
+}
 
 /// The service's answer to one request, with per-request cost metrics.
 #[derive(Debug, Clone)]
@@ -155,15 +197,25 @@ pub struct QueryResponse {
     /// The payload or the failure.
     pub result: Result<QueryOutput, QueryError>,
     /// Execution attempts consumed (0 when the request never ran, e.g.
-    /// expired deadline or shutdown).
+    /// expired deadline or shutdown). For scattered requests, the maximum
+    /// across legs.
     pub attempts: u32,
-    /// Time spent waiting in the service queue before the first attempt.
+    /// Time spent waiting in the service queue before the first attempt
+    /// (maximum across legs when scattered).
     pub queue_wait: Duration,
     /// Total execution time across all attempts (excludes queueing and
-    /// backoff).
+    /// backoff). For scattered requests, the *sum* across legs — the
+    /// aggregate compute the request burned on the fleet.
     pub service_time: Duration,
-    /// Total time spent backing off between attempts.
+    /// Total time spent backing off between attempts (summed across legs
+    /// when scattered).
     pub backoff: Duration,
+    /// How the request was dispatched.
+    pub route: Route,
+    /// Straggler penalty of a scattered request: how long the gatherer
+    /// waited for the remaining shards after the first leg it collected
+    /// had answered. Zero for non-scattered requests.
+    pub gather_wait: Duration,
 }
 
 impl QueryResponse {

@@ -1,0 +1,261 @@
+//! The sharded service's routing front-end.
+//!
+//! Classifies each [`QueryKind`] submitted to a
+//! [`ShardedGraphService`](crate::shard::ShardedGraphService):
+//!
+//! * **Point lookups** (degree / neighbors) are *owner-routed*: exactly one
+//!   shard — the one whose slice owns the vertex — sees the request.
+//! * **Gather-mergeable analytics** (every Table 1 workload whose
+//!   [`GatherMode`] is not [`GatherMode::Whole`]) are *scattered*: the
+//!   router fans one [`QueryKind::WorkloadPartial`] leg per shard, each
+//!   shard reduces the deterministic run over its owned slice, and the
+//!   gather step merges the typed [`Partial`]s
+//!   (sum / max / arg-max per workload) back into the exact unsharded
+//!   answer.
+//! * **Non-mergeable workloads** (currently only BCC, whose per-vertex
+//!   output has no canonical owner-local reduction) fall back to running
+//!   *whole* on the designated primary shard — the documented path that
+//!   keeps all 20 workloads servable under sharding.
+//! * **Debug hooks** are spread round-robin by request id.
+//!
+//! The response carries the decision ([`Route`]) plus, for scattered
+//! requests, the straggler penalty ([`QueryResponse::gather_wait`]), so
+//! load drivers can report routed-vs-scattered traffic and gather latency
+//! without asking the service.
+
+use crate::request::{
+    QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route,
+};
+use crate::service::{GraphService, ShardSnapshot, SubmitError, Ticket};
+use crate::shard::ShardedGraphService;
+use std::time::{Duration, Instant};
+use vcgp_core::service::{gather_mode, GatherMode, Partial};
+
+/// A pending response from either a single queue or a scattered fan-out.
+pub enum AnyTicket {
+    /// One underlying ticket; the route is patched into the response.
+    Single {
+        /// The queue ticket.
+        ticket: Ticket,
+        /// How the request was dispatched.
+        route: Route,
+    },
+    /// One leg per shard, merged at wait time.
+    Scattered(GatherTicket),
+}
+
+impl AnyTicket {
+    /// The submitted request's id.
+    pub fn id(&self) -> u64 {
+        match self {
+            AnyTicket::Single { ticket, .. } => ticket.id(),
+            AnyTicket::Scattered(g) => g.id,
+        }
+    }
+
+    /// Blocks until the response (gather-merged when scattered) arrives.
+    pub fn wait(self) -> QueryResponse {
+        match self {
+            AnyTicket::Single { ticket, route } => {
+                let mut resp = ticket.wait();
+                resp.route = route;
+                resp
+            }
+            AnyTicket::Scattered(g) => g.wait(),
+        }
+    }
+}
+
+/// The gather side of a scattered request: one ticket per shard leg.
+pub struct GatherTicket {
+    id: u64,
+    legs: Vec<Ticket>,
+}
+
+impl GatherTicket {
+    /// Collects every leg and merges them into one response.
+    ///
+    /// Cost metrics aggregate across legs: `attempts` and `queue_wait` take
+    /// the maximum (the binding constraint), `service_time` and `backoff`
+    /// sum (aggregate fleet compute burned), and `gather_wait` is the time
+    /// spent waiting for the remaining legs after the first collected leg
+    /// had answered — the straggler penalty of the fan-out.
+    ///
+    /// On success every leg is a [`QueryOutput::WorkloadPartial`]; the
+    /// merged answer is [`Partial::finish`] of the folded partials,
+    /// `supersteps` is the maximum (every leg runs the same deterministic
+    /// schedule, so this equals the single-instance count) and `messages`
+    /// the sum (aggregate traffic). If any leg failed, the merged response
+    /// carries the first failure in shard order.
+    pub fn wait(self) -> QueryResponse {
+        let shards = self.legs.len() as u32;
+        let mut responses = Vec::with_capacity(self.legs.len());
+        let mut first_collected: Option<Instant> = None;
+        for leg in self.legs {
+            responses.push(leg.wait());
+            first_collected.get_or_insert_with(Instant::now);
+        }
+        let gather_wait = first_collected.map_or(Duration::ZERO, |t| t.elapsed());
+
+        let mut attempts = 0u32;
+        let mut queue_wait = Duration::ZERO;
+        let mut service_time = Duration::ZERO;
+        let mut backoff = Duration::ZERO;
+        for r in &responses {
+            attempts = attempts.max(r.attempts);
+            queue_wait = queue_wait.max(r.queue_wait);
+            service_time += r.service_time;
+            backoff += r.backoff;
+        }
+
+        let result = merge_legs(&responses);
+        QueryResponse {
+            id: self.id,
+            result,
+            attempts,
+            queue_wait,
+            service_time,
+            backoff,
+            route: Route::Scattered { shards },
+            gather_wait,
+        }
+    }
+}
+
+/// Folds scattered legs into the global workload output (or the first
+/// per-leg failure in shard order).
+fn merge_legs(responses: &[QueryResponse]) -> Result<QueryOutput, QueryError> {
+    let mut merged: Option<Partial> = None;
+    let mut supersteps = 0u64;
+    let mut messages = 0u64;
+    for r in responses {
+        match &r.result {
+            Err(e) => return Err(e.clone()),
+            Ok(QueryOutput::WorkloadPartial {
+                partial,
+                supersteps: s,
+                messages: m,
+            }) => {
+                supersteps = supersteps.max(*s);
+                messages += *m;
+                merged = Some(match merged {
+                    None => *partial,
+                    Some(acc) => acc.merge(*partial),
+                });
+            }
+            Ok(_) => {
+                return Err(QueryError::Unsupported(
+                    "gather: leg returned a non-partial output".to_string(),
+                ))
+            }
+        }
+    }
+    match merged {
+        Some(p) => Ok(QueryOutput::Workload {
+            answer: p.finish(),
+            supersteps,
+            messages,
+        }),
+        None => Err(QueryError::Unsupported("gather: no legs".to_string())),
+    }
+}
+
+impl ShardedGraphService {
+    /// Routes and submits one request. Point lookups go to the owning
+    /// shard; gather-mergeable workloads scatter to every shard;
+    /// non-mergeable workloads (and externally submitted partials) run on
+    /// the primary shard; debug hooks spread by request id.
+    ///
+    /// Fails with [`SubmitError::Closed`] once the service is closed. When
+    /// a scatter fails midway, legs already accepted still execute but
+    /// their responses are abandoned (dropped tickets), matching the
+    /// semantics of dropping any other ticket.
+    pub fn submit(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError> {
+        match req.kind {
+            QueryKind::Degree(v) | QueryKind::Neighbors(v) => {
+                let shard = self.owner(v);
+                Ok(AnyTicket::Single {
+                    ticket: self.shards[shard].core.submit(req)?,
+                    route: Route::Routed { shard: shard as u32 },
+                })
+            }
+            QueryKind::Workload(w)
+                if self.shards.len() > 1 && gather_mode(w) != GatherMode::Whole =>
+            {
+                let id = req.id;
+                let legs = self
+                    .shards
+                    .iter()
+                    .map(|sh| {
+                        let mut leg = req.clone();
+                        leg.kind = QueryKind::WorkloadPartial(w);
+                        sh.core.submit(leg)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(AnyTicket::Scattered(GatherTicket { id, legs }))
+            }
+            QueryKind::Workload(_) | QueryKind::WorkloadPartial(_) => {
+                let shard = self.primary;
+                Ok(AnyTicket::Single {
+                    ticket: self.shards[shard].core.submit(req)?,
+                    route: Route::Routed { shard: shard as u32 },
+                })
+            }
+            QueryKind::DebugSleep(_) | QueryKind::DebugPanic => {
+                let shard = (req.id % self.shards.len() as u64) as usize;
+                Ok(AnyTicket::Single {
+                    ticket: self.shards[shard].core.submit(req)?,
+                    route: Route::Routed { shard: shard as u32 },
+                })
+            }
+        }
+    }
+}
+
+/// What the load driver needs from a service: submit an operation, and
+/// report per-shard counters at the end of the run. Implemented by the
+/// single-instance [`GraphService`] (one implicit shard) and by
+/// [`ShardedGraphService`], so `driver::run` is generic over both.
+pub trait StressTarget: Sync {
+    /// Submits one operation.
+    fn submit_op(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError>;
+    /// Number of shards (1 for a single-instance service).
+    fn num_shards(&self) -> usize;
+    /// Per-shard identity + counters.
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot>;
+}
+
+impl StressTarget for GraphService {
+    fn submit_op(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError> {
+        Ok(AnyTicket::Single {
+            ticket: self.submit(req)?,
+            route: Route::Direct,
+        })
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        vec![ShardSnapshot {
+            shard: 0,
+            owned: self.graph().num_vertices(),
+            stats: self.stats(),
+        }]
+    }
+}
+
+impl StressTarget for ShardedGraphService {
+    fn submit_op(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError> {
+        self.submit(req)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards()
+    }
+
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shard_snapshots()
+    }
+}

@@ -3,8 +3,16 @@
 //!
 //! The graph is loaded once and shared via [`Arc`]; callers submit
 //! [`QueryRequest`]s and receive a [`Ticket`] whose [`Ticket::wait`]
-//! blocks for the [`QueryResponse`]. The queue is bounded — a full queue
-//! applies backpressure to submitters rather than growing without limit.
+//! blocks for the [`QueryResponse`]. The queue is bounded — what happens at
+//! capacity is the [`QueueFullPolicy`]: [`QueueFullPolicy::Block`] applies
+//! backpressure to submitters, [`QueueFullPolicy::Reject`] sheds the
+//! request immediately with [`QueryError::Rejected`].
+//!
+//! The queue + executor machinery lives in the crate-internal [`Core`],
+//! parameterized by an execution backend. [`GraphService`] is one core over
+//! the full resident graph; the sharded service
+//! ([`crate::shard::ShardedGraphService`]) runs one core per shard, each
+//! over its own vertex slice.
 //!
 //! Failure handling:
 //! * attempts whose execution exceeds the request's per-attempt timeout are
@@ -14,13 +22,15 @@
 //!   enforced post-hoc;
 //! * panics inside a workload are caught per request: the executor survives
 //!   and the caller gets [`QueryError::Panicked`];
-//! * requests whose absolute deadline has passed fail fast without
-//!   consuming an execution slot;
+//! * requests whose absolute deadline has already passed when an executor
+//!   dequeues them are answered [`QueryError::DeadlineExceeded`] without
+//!   running the workload (an *early drop*, counted separately from
+//!   timeouts);
 //! * shutdown is graceful: [`GraphService::close`] stops admissions, then
 //!   executors drain everything already accepted, so no accepted request
 //!   loses its response.
 
-use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse};
+use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,14 +41,39 @@ use vcgp_graph::rng::mix3;
 use vcgp_graph::{Graph, SplitMix64};
 use vcgp_pregel::PregelConfig;
 
+/// What [`Core::submit`] does when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueFullPolicy {
+    /// Block the submitter until a slot frees up (backpressure).
+    #[default]
+    Block,
+    /// Shed the request: the returned ticket resolves immediately to
+    /// [`QueryError::Rejected`] and the reject is counted in
+    /// [`ServiceStats::rejected`].
+    Reject,
+}
+
+impl QueueFullPolicy {
+    /// Parses a policy name (`block` / `reject`, case-insensitive).
+    pub fn parse(s: &str) -> Result<QueueFullPolicy, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "block" => Ok(QueueFullPolicy::Block),
+            "reject" => Ok(QueueFullPolicy::Reject),
+            other => Err(format!("unknown queue policy {other:?} (expected block or reject)")),
+        }
+    }
+}
+
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Executor threads draining the queue.
+    /// Executor threads draining the queue (per shard, when sharded).
     pub executors: usize,
-    /// Queue capacity; submitters block (or [`GraphService::try_submit`]
-    /// fails) when this many requests are pending.
+    /// Queue capacity; at this many pending requests the
+    /// [`QueueFullPolicy`] decides between backpressure and shedding.
     pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub queue_policy: QueueFullPolicy,
     /// Maximum execution attempts per request (1 = no retries).
     pub max_attempts: u32,
     /// Backoff before retry `k` (1-based) is
@@ -51,7 +86,9 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Engine configuration for workload execution. Defaults to a single
     /// worker per executor — concurrency comes from running many requests
-    /// at once, not from parallelizing each one.
+    /// at once, not from parallelizing each one. Its `partitioning` field
+    /// doubles as the shard-placement strategy of the sharded service, so
+    /// the `VCGP_PARTITIONING` override applies to both.
     pub engine: PregelConfig,
 }
 
@@ -62,6 +99,7 @@ impl Default for ServiceConfig {
                 .map(|p| p.get().min(4))
                 .unwrap_or(2),
             queue_capacity: 128,
+            queue_policy: QueueFullPolicy::Block,
             max_attempts: 3,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
@@ -96,7 +134,7 @@ impl std::error::Error for SubmitError {}
 pub struct ServiceStats {
     /// Requests answered successfully.
     pub completed: u64,
-    /// Requests answered with an error.
+    /// Requests answered with an error (includes rejects and early drops).
     pub failed: u64,
     /// Execution attempts beyond each request's first.
     pub retries: u64,
@@ -104,6 +142,41 @@ pub struct ServiceStats {
     pub timeouts: u64,
     /// Panics contained by executors.
     pub panics: u64,
+    /// Requests shed at submission under [`QueueFullPolicy::Reject`].
+    pub rejected: u64,
+    /// Requests dequeued with an already-expired deadline and answered
+    /// without running (distinct from `timeouts`, which count attempts
+    /// that ran too long).
+    pub early_drops: u64,
+    /// High-water mark of the queue depth (pending requests) since start —
+    /// the occupancy gauge behind the stress report's per-shard column.
+    pub queue_hwm: u64,
+}
+
+impl ServiceStats {
+    /// Folds another core's counters into this one (high-water marks take
+    /// the maximum, everything else adds).
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.panics += other.panics;
+        self.rejected += other.rejected;
+        self.early_drops += other.early_drops;
+        self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+    }
+}
+
+/// One shard's identity and counters, as reported to the stress driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSnapshot {
+    /// Shard index (0 for a single-instance service).
+    pub shard: usize,
+    /// Vertices this shard owns.
+    pub owned: usize,
+    /// The shard core's counters.
+    pub stats: ServiceStats,
 }
 
 #[derive(Default)]
@@ -113,6 +186,8 @@ struct Counters {
     retries: AtomicU64,
     timeouts: AtomicU64,
     panics: AtomicU64,
+    rejected: AtomicU64,
+    early_drops: AtomicU64,
 }
 
 struct Job {
@@ -124,6 +199,8 @@ struct Job {
 struct QueueState {
     jobs: VecDeque<Job>,
     closed: bool,
+    /// Deepest the queue has been (updated under the lock at enqueue).
+    depth_hwm: usize,
 }
 
 struct Shared {
@@ -132,6 +209,17 @@ struct Shared {
     not_full: Condvar,
     capacity: usize,
     counters: Counters,
+}
+
+/// How an executor turns a dequeued request into an output. Implemented by
+/// the full-graph backend below and by shard slices.
+pub(crate) trait ExecBackend: Send + Sync + 'static {
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        seed: u64,
+        engine: &PregelConfig,
+    ) -> Result<QueryOutput, QueryError>;
 }
 
 /// A pending response. Dropping the ticket abandons the response (the
@@ -152,27 +240,41 @@ impl Ticket {
     /// [`QueryError::ShuttingDown`] response rather than panicking.
     pub fn wait(self) -> QueryResponse {
         let id = self.id;
-        self.rx.recv().unwrap_or(QueryResponse {
-            id,
-            result: Err(QueryError::ShuttingDown),
-            attempts: 0,
-            queue_wait: Duration::ZERO,
-            service_time: Duration::ZERO,
-            backoff: Duration::ZERO,
-        })
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| failure_response(id, QueryError::ShuttingDown))
     }
 }
 
-/// A resident graph serving typed queries from a bounded queue.
-pub struct GraphService {
-    graph: Arc<Graph>,
-    shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+/// A zero-cost response for requests that never reached an executor.
+fn failure_response(id: u64, error: QueryError) -> QueryResponse {
+    QueryResponse {
+        id,
+        result: Err(error),
+        attempts: 0,
+        queue_wait: Duration::ZERO,
+        service_time: Duration::ZERO,
+        backoff: Duration::ZERO,
+        route: Route::Direct,
+        gather_wait: Duration::ZERO,
+    }
 }
 
-impl GraphService {
-    /// Loads `graph` behind the service and spawns the executor pool.
-    pub fn start(graph: Arc<Graph>, config: ServiceConfig) -> GraphService {
+/// One bounded queue + executor pool over an execution backend: the
+/// reusable single-shard core shared by [`GraphService`] and every shard of
+/// the sharded service.
+pub(crate) struct Core {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    policy: QueueFullPolicy,
+}
+
+impl Core {
+    pub(crate) fn start(
+        backend: Arc<dyn ExecBackend>,
+        config: &ServiceConfig,
+        thread_label: &str,
+    ) -> Core {
         assert!(config.executors >= 1, "need at least one executor");
         assert!(config.queue_capacity >= 1, "queue capacity must be positive");
         assert!(config.max_attempts >= 1, "need at least one attempt");
@@ -180,6 +282,7 @@ impl GraphService {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
+                depth_hwm: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -189,29 +292,25 @@ impl GraphService {
         let workers = (0..config.executors)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let graph = Arc::clone(&graph);
+                let backend = Arc::clone(&backend);
                 let config = config.clone();
                 std::thread::Builder::new()
-                    .name(format!("vcgp-stress-exec-{i}"))
-                    .spawn(move || executor_loop(&graph, &shared, &config))
+                    .name(format!("vcgp-stress-{thread_label}-{i}"))
+                    .spawn(move || executor_loop(&*backend, &shared, &config))
                     .expect("spawn executor")
             })
             .collect();
-        GraphService {
-            graph,
+        Core {
             shared,
             workers,
+            policy: config.queue_policy,
         }
     }
 
-    /// The resident graph.
-    pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
-    }
-
-    /// Submits a request, blocking while the queue is full. Fails only when
-    /// the service is closed.
-    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+    /// Submits a request under the configured [`QueueFullPolicy`]: blocks
+    /// while full (`Block`), or sheds with an immediate
+    /// [`QueryError::Rejected`] response (`Reject`). Errs only when closed.
+    pub(crate) fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if state.closed {
@@ -220,13 +319,25 @@ impl GraphService {
             if state.jobs.len() < self.shared.capacity {
                 return Ok(self.enqueue(state, req));
             }
-            state = self.shared.not_full.wait(state).unwrap();
+            match self.policy {
+                QueueFullPolicy::Block => {
+                    state = self.shared.not_full.wait(state).unwrap();
+                }
+                QueueFullPolicy::Reject => {
+                    drop(state);
+                    self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let (tx, rx) = mpsc::channel();
+                    let _ = tx.send(failure_response(req.id, QueryError::Rejected));
+                    return Ok(Ticket { id: req.id, rx });
+                }
+            }
         }
     }
 
     /// Non-blocking submit: fails immediately when the queue is full or the
-    /// service is closed.
-    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+    /// service is closed, regardless of policy.
+    pub(crate) fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
         let state = self.shared.state.lock().unwrap();
         if state.closed {
             return Err(SubmitError::Closed);
@@ -249,9 +360,104 @@ impl GraphService {
             enqueued_at: Instant::now(),
             tx,
         });
+        state.depth_hwm = state.depth_hwm.max(state.jobs.len());
         drop(state);
         self.shared.not_empty.notify_one();
         Ticket { id, rx }
+    }
+
+    pub(crate) fn close(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Blocks until the executors have drained every accepted request.
+    /// Call [`Core::close`] first.
+    pub(crate) fn join(&mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        let hwm = self.shared.state.lock().unwrap().depth_hwm;
+        ServiceStats {
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            early_drops: c.early_drops.load(Ordering::Relaxed),
+            queue_hwm: hwm as u64,
+        }
+    }
+
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        self.close();
+        self.join();
+    }
+}
+
+/// The full-resident-graph execution backend behind [`GraphService`].
+struct FullGraphBackend {
+    graph: Arc<Graph>,
+}
+
+impl ExecBackend for FullGraphBackend {
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        seed: u64,
+        engine: &PregelConfig,
+    ) -> Result<QueryOutput, QueryError> {
+        execute_on_full_graph(&self.graph, kind, seed, engine)
+    }
+}
+
+/// A resident graph serving typed queries from a bounded queue.
+pub struct GraphService {
+    graph: Arc<Graph>,
+    core: Core,
+}
+
+impl GraphService {
+    /// Loads `graph` behind the service and spawns the executor pool.
+    pub fn start(graph: Arc<Graph>, config: ServiceConfig) -> GraphService {
+        let backend = Arc::new(FullGraphBackend {
+            graph: Arc::clone(&graph),
+        });
+        let core = Core::start(backend, &config, "exec");
+        GraphService { graph, core }
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Submits a request. Under [`QueueFullPolicy::Block`] this blocks
+    /// while the queue is full; under [`QueueFullPolicy::Reject`] a full
+    /// queue yields a ticket that resolves immediately to
+    /// [`QueryError::Rejected`]. Fails only when the service is closed.
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        self.core.submit(req)
+    }
+
+    /// Non-blocking submit: fails immediately when the queue is full or the
+    /// service is closed.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        self.core.try_submit(req)
     }
 
     /// Stops admitting new requests. Already-accepted requests keep their
@@ -260,51 +466,29 @@ impl GraphService {
     ///
     /// [`submit`]: GraphService::submit
     pub fn close(&self) {
-        let mut state = self.shared.state.lock().unwrap();
-        state.closed = true;
-        drop(state);
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
+        self.core.close();
     }
 
     /// Closes the service and blocks until the executors have drained every
     /// accepted request. Returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
-        self.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        self.stats()
+        self.core.close();
+        self.core.join();
+        self.core.stats()
     }
 
     /// A snapshot of the cumulative counters.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
-        ServiceStats {
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            panics: c.panics.load(Ordering::Relaxed),
-        }
+        self.core.stats()
     }
 
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().unwrap().jobs.len()
+        self.core.queue_depth()
     }
 }
 
-impl Drop for GraphService {
-    fn drop(&mut self) {
-        self.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-fn executor_loop(graph: &Graph, shared: &Shared, config: &ServiceConfig) {
+fn executor_loop(backend: &dyn ExecBackend, shared: &Shared, config: &ServiceConfig) {
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
@@ -319,7 +503,7 @@ fn executor_loop(graph: &Graph, shared: &Shared, config: &ServiceConfig) {
             }
         };
         shared.not_full.notify_one();
-        let response = serve(graph, shared, config, &job.req, job.enqueued_at);
+        let response = serve(backend, shared, config, &job.req, job.enqueued_at);
         if response.result.is_ok() {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -333,7 +517,7 @@ fn executor_loop(graph: &Graph, shared: &Shared, config: &ServiceConfig) {
 /// Runs one request to completion: attempt, post-hoc timeout check, backoff,
 /// retry, deadline enforcement.
 fn serve(
-    graph: &Graph,
+    backend: &dyn ExecBackend,
     shared: &Shared,
     config: &ServiceConfig,
     req: &QueryRequest,
@@ -346,6 +530,11 @@ fn serve(
     let mut attempts = 0u32;
     let result = loop {
         if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            if attempts == 0 {
+                // Dead on arrival: dropped without consuming an execution
+                // slot — counted apart from timeouts, which ran and lost.
+                shared.counters.early_drops.fetch_add(1, Ordering::Relaxed);
+            }
             break Err(QueryError::DeadlineExceeded);
         }
         attempts += 1;
@@ -354,7 +543,7 @@ fn serve(
         }
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_once(graph, &req.kind, req.seed, &config.engine)
+            backend.execute(&req.kind, req.seed, &config.engine)
         }));
         let elapsed = t0.elapsed();
         service_time += elapsed;
@@ -389,6 +578,8 @@ fn serve(
         queue_wait,
         service_time,
         backoff: backoff_total,
+        route: Route::Direct,
+        gather_wait: Duration::ZERO,
     }
 }
 
@@ -408,7 +599,9 @@ fn backoff_with_jitter(config: &ServiceConfig, req_id: u64, attempt: u32) -> Dur
     Duration::from_nanos(ns / 2 + rng.next_below(ns / 2))
 }
 
-fn execute_once(
+/// Executes one request kind against the full resident graph. Shared with
+/// the sharded service's primary-shard fall-back path.
+pub(crate) fn execute_on_full_graph(
     graph: &Graph,
     kind: &QueryKind,
     seed: u64,
@@ -420,6 +613,17 @@ fn execute_once(
                 .map_err(|e| QueryError::Unsupported(e.to_string()))?;
             Ok(QueryOutput::Workload {
                 answer: run.answer,
+                supersteps: run.stats.supersteps(),
+                messages: run.stats.total_messages(),
+            })
+        }
+        QueryKind::WorkloadPartial(w) => {
+            // A single-instance service owns the whole vertex set, so its
+            // "partial" is the global reduction.
+            let run = vcgp_core::service::run_workload_partial(w, graph, engine, seed, &|_| true)
+                .map_err(|e| QueryError::Unsupported(e.to_string()))?;
+            Ok(QueryOutput::WorkloadPartial {
+                partial: run.partial,
                 supersteps: run.stats.supersteps(),
                 messages: run.stats.total_messages(),
             })

@@ -1,0 +1,290 @@
+//! Integration + property tests for the sharded service: scatter/gather
+//! equivalence with the unsharded service, owner routing, the primary-shard
+//! fall-back, admission control, and deadline early drops.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vcgp_core::service::{gather_mode, run_workload, GatherMode};
+use vcgp_core::Workload;
+use vcgp_graph::{generators, Graph, VertexId};
+use vcgp_pregel::partition::Partitioning;
+use vcgp_pregel::PregelConfig;
+use vcgp_stress::request::{QueryError, QueryKind, QueryOutput, QueryRequest, Route};
+use vcgp_stress::service::{GraphService, QueueFullPolicy, ServiceConfig};
+use vcgp_stress::shard::ShardedGraphService;
+use vcgp_testkit::prop::Source;
+use vcgp_testkit::{prop_assert, vcgp_props};
+
+fn config_for(strategy: Partitioning) -> ServiceConfig {
+    let mut engine = PregelConfig::single_worker();
+    engine.partitioning = strategy;
+    ServiceConfig {
+        executors: 2,
+        engine,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Every Table 1 workload that this graph supports and that is
+/// gather-mergeable (scatters instead of falling back to the primary).
+fn mergeable_workloads(graph: &Graph) -> Vec<Workload> {
+    Workload::ALL
+        .into_iter()
+        .filter(|&w| vcgp_core::service::supported(w, graph).is_ok())
+        .filter(|&w| gather_mode(w) != GatherMode::Whole)
+        .collect()
+}
+
+vcgp_props! {
+    #![cases(8)]
+
+    // The acceptance property: for every gather-mergeable workload, both
+    // partitioning strategies, and S ∈ {1, 2, 4}, the sharded service's
+    // scatter/gather answer (and superstep count) is identical to running
+    // the workload unsharded with the same engine config and seed.
+    fn sharded_scatter_gather_equals_unsharded(
+        graph_seed in 0u64..1_000,
+        req_seed in 0u64..1_000_000,
+        directed in 0u64..2,
+    ) {
+        let mut src = Source::new(graph_seed ^ 0x5348_4152);
+        let n = 8 + src.next_below(17) as usize;
+        let m = n + src.next_below(2 * n as u64) as usize;
+        let graph = Arc::new(if directed == 0 {
+            generators::gnm_connected(n, m, graph_seed)
+        } else {
+            generators::labeled_digraph(n, m, 3, graph_seed)
+        });
+        let workloads = mergeable_workloads(&graph);
+        prop_assert!(!workloads.is_empty(), "graph supports no mergeable workloads");
+
+        for strategy in [Partitioning::Hash, Partitioning::Range] {
+            let config = config_for(strategy);
+            for shards in [1usize, 2, 4] {
+                let service =
+                    ShardedGraphService::start(Arc::clone(&graph), config.clone(), shards);
+                for (i, &w) in workloads.iter().enumerate() {
+                    let expected = run_workload(w, &graph, &config.engine, req_seed)
+                        .expect("workload passed the supported() filter");
+                    let req = QueryRequest::new(i as u64, QueryKind::Workload(w))
+                        .with_seed(req_seed);
+                    let resp = service.submit(req).expect("service open").wait();
+                    match resp.result {
+                        Ok(QueryOutput::Workload { answer, supersteps, .. }) => {
+                            prop_assert!(
+                                answer == expected.answer,
+                                "{w:?} S={shards} {strategy:?}: answer {answer} != {}",
+                                expected.answer
+                            );
+                            prop_assert!(
+                                supersteps == expected.stats.supersteps(),
+                                "{w:?} S={shards} {strategy:?}: supersteps {supersteps} != {}",
+                                expected.stats.supersteps()
+                            );
+                        }
+                        ref other => {
+                            prop_assert!(
+                                false,
+                                "{w:?} S={shards} {strategy:?}: unexpected {other:?}"
+                            );
+                        }
+                    }
+                    if shards > 1 {
+                        prop_assert!(
+                            resp.route == Route::Scattered { shards: shards as u32 },
+                            "{w:?} should scatter, got {:?}",
+                            resp.route
+                        );
+                    }
+                }
+                service.shutdown();
+            }
+        }
+    }
+}
+
+#[test]
+fn point_lookups_are_owner_routed_and_exact() {
+    let graph = Arc::new(generators::gnm_connected(64, 160, 3));
+    for strategy in [Partitioning::Hash, Partitioning::Range] {
+        let service = ShardedGraphService::start(Arc::clone(&graph), config_for(strategy), 4);
+        for v in 0..graph.num_vertices() as VertexId {
+            let deg = service
+                .submit(QueryRequest::new(u64::from(v), QueryKind::Degree(v)))
+                .unwrap()
+                .wait();
+            assert_eq!(
+                deg.route,
+                Route::Routed { shard: service.owner(v) as u32 },
+                "v={v} routed to its owner"
+            );
+            assert_eq!(
+                deg.result,
+                Ok(QueryOutput::Degree(graph.out_degree(v))),
+                "v={v} degree from the shard slice"
+            );
+            let nbrs = service
+                .submit(QueryRequest::new(1000 + u64::from(v), QueryKind::Neighbors(v)))
+                .unwrap()
+                .wait();
+            assert_eq!(
+                nbrs.result,
+                Ok(QueryOutput::Neighbors(graph.out_neighbors(v).to_vec())),
+                "v={v} neighbors from the shard slice"
+            );
+        }
+        // Out-of-range ids still route somewhere and answer NoSuchVertex.
+        let miss = service
+            .submit(QueryRequest::new(9999, QueryKind::Degree(10_000)))
+            .unwrap()
+            .wait();
+        assert_eq!(miss.result, Err(QueryError::NoSuchVertex(10_000)));
+        // Only owner-routed work: nothing scattered, every shard that owns
+        // vertices completed something.
+        let snaps = service.shard_snapshots();
+        assert_eq!(snaps.len(), 4);
+        for s in &snaps {
+            assert!(s.owned > 0, "shard {} owns vertices", s.shard);
+            assert!(s.stats.completed > 0, "shard {} served lookups", s.shard);
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn non_mergeable_workload_falls_back_to_primary_shard() {
+    let graph = Arc::new(generators::gnm_connected(24, 60, 9));
+    assert_eq!(gather_mode(Workload::Bcc), GatherMode::Whole);
+    let config = config_for(Partitioning::Hash);
+    let expected = run_workload(Workload::Bcc, &graph, &config.engine, 42).unwrap();
+    let service = ShardedGraphService::start(Arc::clone(&graph), config, 4);
+    let resp = service
+        .submit(QueryRequest::new(1, QueryKind::Workload(Workload::Bcc)).with_seed(42))
+        .unwrap()
+        .wait();
+    // Routed whole to the primary, not scattered — and still exact.
+    assert_eq!(resp.route, Route::Routed { shard: 0 });
+    match resp.result {
+        Ok(QueryOutput::Workload { answer, .. }) => assert_eq!(answer, expected.answer),
+        other => panic!("unexpected: {other:?}"),
+    }
+    let snaps = service.shard_snapshots();
+    assert_eq!(snaps[0].stats.completed, 1, "primary ran the fall-back");
+    for s in &snaps[1..] {
+        assert_eq!(s.stats.completed, 0, "shard {} stayed idle", s.shard);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn reject_policy_sheds_when_queue_is_full() {
+    let graph = Arc::new(generators::gnm_connected(8, 10, 1));
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServiceConfig {
+            executors: 1,
+            queue_capacity: 1,
+            queue_policy: QueueFullPolicy::Reject,
+            ..ServiceConfig::default()
+        },
+    );
+    // Occupy the executor, give it time to dequeue, then fill the queue.
+    let busy = service
+        .submit(QueryRequest::new(1, QueryKind::DebugSleep(Duration::from_millis(300))))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = service
+        .submit(QueryRequest::new(2, QueryKind::DebugSleep(Duration::from_millis(1))))
+        .unwrap();
+    // Queue is now at capacity: the reject policy sheds instead of blocking.
+    let shed = service
+        .submit(QueryRequest::new(3, QueryKind::Degree(0)))
+        .unwrap();
+    let resp = shed.wait();
+    assert_eq!(resp.result, Err(QueryError::Rejected));
+    assert_eq!(resp.attempts, 0, "rejected before any attempt");
+    assert!(busy.wait().is_ok());
+    assert!(queued.wait().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.failed, 1, "the reject is the only failure");
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn expired_deadline_is_dropped_at_dequeue_without_running() {
+    let graph = Arc::new(generators::gnm_connected(8, 10, 1));
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServiceConfig {
+            executors: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    // A deadline of "now" is already expired by the time an executor
+    // dequeues the request.
+    let resp = service
+        .submit(
+            QueryRequest::new(1, QueryKind::Degree(0)).with_deadline(Instant::now()),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(resp.result, Err(QueryError::DeadlineExceeded));
+    assert_eq!(resp.attempts, 0, "never ran");
+    assert_eq!(resp.service_time, Duration::ZERO);
+    let stats = service.shutdown();
+    assert_eq!(stats.early_drops, 1);
+    assert_eq!(stats.timeouts, 0, "early drops are not timeouts");
+}
+
+#[test]
+fn queue_high_water_mark_tracks_depth() {
+    let graph = Arc::new(generators::gnm_connected(8, 10, 1));
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServiceConfig {
+            executors: 1,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    // Hold the executor so submissions pile up.
+    let tickets: Vec<_> = (0..5)
+        .map(|i| {
+            service
+                .submit(QueryRequest::new(i, QueryKind::DebugSleep(Duration::from_millis(50))))
+                .unwrap()
+        })
+        .collect();
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    let stats = service.shutdown();
+    // The executor held one job while at least some of the rest queued.
+    assert!(stats.queue_hwm >= 2, "hwm {} should reflect queueing", stats.queue_hwm);
+    assert!(stats.queue_hwm <= 5);
+}
+
+#[test]
+fn sharded_stats_fold_across_shards() {
+    let graph = Arc::new(generators::gnm_connected(32, 80, 5));
+    let service = ShardedGraphService::start(Arc::clone(&graph), config_for(Partitioning::Hash), 2);
+    for v in 0..8u32 {
+        assert!(service
+            .submit(QueryRequest::new(u64::from(v), QueryKind::Degree(v)))
+            .unwrap()
+            .wait()
+            .is_ok());
+    }
+    let folded = service.stats();
+    let snaps = service.shard_snapshots();
+    assert_eq!(folded.completed, snaps.iter().map(|s| s.stats.completed).sum::<u64>());
+    assert_eq!(folded.completed, 8);
+    assert_eq!(
+        snaps.iter().map(|s| s.owned).sum::<usize>(),
+        graph.num_vertices(),
+        "ownership partitions the vertex set"
+    );
+    let total = service.shutdown();
+    assert_eq!(total.completed, 8);
+}

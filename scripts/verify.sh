@@ -51,4 +51,24 @@ echo "== stress smoke (2 s paced load, gated on valid JSON and zero errors)"
     --seed 7 --mix points --name smoke --quiet
 ./target/release/stress --validate-report target/vcgp-bench/BENCH_stress_smoke.json
 
+echo "== shard smoke (same seeded mix at --shards 1 and --shards 4; both must"
+echo "   validate and agree on success/error counts)"
+for s in 1 4; do
+    ./target/release/stress --gen gnm-connected:256:1024:7 --ops 400 --duration 30 \
+        --seed 7 --mix mixed --shards "$s" --name "shard$s" --quiet
+    ./target/release/stress --validate-report "target/vcgp-bench/BENCH_stress_shard$s.json"
+done
+counts() {
+    sed -n 's/^[[:space:]]*"\(ops\|ok\|errors\)": \([0-9]*\),*$/\1=\2/p' "$1" | sort
+}
+c1=$(counts target/vcgp-bench/BENCH_stress_shard1.json)
+c4=$(counts target/vcgp-bench/BENCH_stress_shard4.json)
+if [ "$c1" != "$c4" ]; then
+    echo "error: sharded run diverged from unsharded on the same seeded mix:" >&2
+    echo "--shards 1: $c1" >&2
+    echo "--shards 4: $c4" >&2
+    exit 1
+fi
+echo "   ok: shard1/shard4 agree ($(echo $c1 | tr '\n' ' '))"
+
 echo "tier-1 verify: OK"
