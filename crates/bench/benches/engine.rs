@@ -263,7 +263,7 @@ fn validate(path: &str) -> Result<String, String> {
                 .get("mean_ns")
                 .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("{id}: missing mean_ns"))?;
-            if !(mean > 0.0) {
+            if mean.is_nan() || mean <= 0.0 {
                 return Err(format!("{id}: non-positive mean_ns {mean}"));
             }
             let samples = b
@@ -281,7 +281,7 @@ fn validate(path: &str) -> Result<String, String> {
                         .and_then(|t| t.get("per_second"))
                         .and_then(json::Value::as_f64)
                         .ok_or_else(|| format!("{id}: missing throughput"))?;
-                    if !(rate > 0.0) {
+                    if rate.is_nan() || rate <= 0.0 {
                         return Err(format!("{id}: non-positive throughput {rate}"));
                     }
                 }

@@ -12,12 +12,15 @@
 //! * [`report`] — markdown rendering of the regenerated Table 1;
 //! * [`service`] — the serving path: precondition checks and bounded-budget
 //!   execution of any workload against a resident graph (used by
-//!   `vcgp-stress`).
+//!   `vcgp-stress`);
+//! * [`fingerprint`] — stable, order-independent 64-bit graph fingerprints,
+//!   the graph-identity half of the serving layer's result-cache key.
 
 pub mod benchmark;
 pub mod bppa;
 pub mod complexity;
 pub mod cost;
+pub mod fingerprint;
 pub mod report;
 pub mod service;
 pub mod workload;
@@ -26,5 +29,6 @@ pub use benchmark::{run_row, run_table1, RowResult, Verdict};
 pub use bppa::{BppaReport, PropertyVerdict};
 pub use complexity::{ComplexityClass, Fit, GraphParams};
 pub use cost::BspCostModel;
+pub use fingerprint::{graph_fingerprint, leg_fingerprint};
 pub use service::{run_workload, supported, supported_workloads, ServiceRun, Unsupported};
 pub use workload::{Measurement, Scale, Workload};

@@ -97,40 +97,33 @@ pub fn supported(workload: Workload, graph: &Graph) -> Result<(), Unsupported> {
         return fail("graph has fewer than two vertices");
     }
     match workload {
-        Workload::Wcc | Workload::Scc => {
-            if !graph.is_directed() {
-                return fail("requires a directed graph");
-            }
+        Workload::Wcc | Workload::Scc if !graph.is_directed() => {
+            fail("requires a directed graph")
         }
-        Workload::GraphSim | Workload::DualSim | Workload::StrongSim => {
-            if !graph.is_directed() {
-                return fail("simulation requires a directed data graph");
-            }
+        Workload::GraphSim | Workload::DualSim | Workload::StrongSim
+            if !graph.is_directed() =>
+        {
+            fail("simulation requires a directed data graph")
         }
-        Workload::Mst | Workload::Matching => {
-            if !graph.is_weighted() {
-                return fail("requires edge weights");
-            }
+        Workload::Mst | Workload::Matching if !graph.is_weighted() => {
+            fail("requires edge weights")
         }
-        Workload::EulerTour | Workload::TreeOrder => {
-            if !is_tree(graph) {
-                return fail("requires an undirected tree");
-            }
+        Workload::EulerTour | Workload::TreeOrder if !is_tree(graph) => {
+            fail("requires an undirected tree")
         }
-        Workload::BipartiteMatching => {
-            if graph.is_directed() || bipartite_split(graph).is_none() {
-                return fail("requires a layered bipartite graph");
-            }
+        Workload::BipartiteMatching
+            if graph.is_directed() || bipartite_split(graph).is_none() =>
+        {
+            fail("requires a layered bipartite graph")
         }
         Workload::Diameter | Workload::Apsp | Workload::Bcc | Workload::SpanningTree
-        | Workload::CcHashMin | Workload::CcSv | Workload::Coloring => {
-            if graph.is_directed() {
-                return fail("requires an undirected graph");
-            }
+        | Workload::CcHashMin | Workload::CcSv | Workload::Coloring
+            if graph.is_directed() =>
+        {
+            fail("requires an undirected graph")
         }
-        _ => {}
+        _ => Ok(()),
     }
-    Ok(())
 }
 
 /// The workloads [`supported`] admits on `graph`, in Table 1 order.

@@ -6,6 +6,7 @@
 //!        [--duration SECS] [--ops N] [--rate OPS_S] [--burst N]
 //!        [--clients N] [--executors N] [--queue N] [--shards N]
 //!        [--queue-policy block|reject]
+//!        [--cache-capacity N] [--cache-off] [--repeat N]
 //!        [--mix points|mixed|analytics|hotspot|scatter] [--seed N]
 //!        [--timeout-ms N] [--retries N] [--name NAME] [--quiet]
 //! stress --validate-report FILE
@@ -70,13 +71,26 @@ fn usage() {
          --queue N         service queue capacity, per shard (default 128)\n  \
          --shards N        shard the service N ways (default 1 = unsharded)\n  \
          --queue-policy P  block (backpressure) | reject (shed) when full\n  \
+         --cache-capacity N  result-cache entries per shard core (default 256)\n  \
+         --cache-off       disable the result cache (same as capacity 0)\n  \
+         --repeat N        run the mix N times against the SAME service\n                    \
+         process (pass 2+ replays the identical seeded stream,\n                    \
+         so cache hits become observable); reports are named\n                    \
+         stress_<name>-pass<i> when N > 1\n  \
          --mix NAME        points | mixed | analytics | hotspot | scatter\n                    \
          (default points)\n  \
          --seed N          operation-stream seed (default 7)\n  \
          --timeout-ms N    per-attempt timeout (default 5000)\n  \
          --retries N       max attempts per request (default 3)\n  \
          --name NAME       report name: BENCH_stress_<name>.* (default run)\n  \
-         --quiet           one-line summary instead of the full table"
+         --quiet           one-line summary instead of the full table\n\n\
+         ENVIRONMENT:\n  \
+         VCGP_WORKERS      engine worker-thread count for analytics runs\n                    \
+         (positive integer, capped at 1024; default: CPU count).\n                    \
+         Answers are identical for any worker count.\n  \
+         VCGP_PARTITIONING engine + shard placement strategy: hash | range\n                    \
+         (default hash). Applies to both engine workers and\n                    \
+         shard vertex ownership (--shards)."
     );
 }
 
@@ -142,6 +156,15 @@ fn run(args: &[String]) -> Result<(), String> {
     if shards < 1 {
         return Err("--shards must be at least 1".to_string());
     }
+    let repeat: usize = parse_flag(args, "--repeat", 1usize)?;
+    if repeat < 1 {
+        return Err("--repeat must be at least 1".to_string());
+    }
+    let cache_capacity = if args.iter().any(|a| a == "--cache-off") {
+        0
+    } else {
+        parse_flag(args, "--cache-capacity", ServiceConfig::default().cache_capacity)?
+    };
     let service_cfg = ServiceConfig {
         executors: parse_flag(args, "--executors", ServiceConfig::default().executors)?,
         queue_capacity: parse_flag(args, "--queue", 128usize)?,
@@ -151,6 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
             .unwrap_or_default(),
         max_attempts: parse_flag(args, "--retries", 3u32)?,
         seed: parse_flag(args, "--seed", 7u64)?,
+        cache_capacity,
         ..ServiceConfig::default()
     };
     let driver_cfg = DriverConfig {
@@ -178,39 +202,53 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let report = if shards > 1 {
+    // --repeat runs the same seeded stream against the SAME service process:
+    // pass 1 warms the result cache, later passes hit it, and the per-pass
+    // reports (scoped by the driver's counter baseline) make both the hit
+    // counts and the answer hashes comparable.
+    let reports = if shards > 1 {
         let service = ShardedGraphService::start(Arc::clone(&graph), service_cfg, shards);
-        let report = driver::run(&service, &mix, &driver_cfg);
+        let reports: Vec<_> = (0..repeat).map(|_| driver::run(&service, &mix, &driver_cfg)).collect();
         service.shutdown();
-        report
+        reports
     } else {
         let service = GraphService::start(Arc::clone(&graph), service_cfg);
-        let report = driver::run(&service, &mix, &driver_cfg);
+        let reports: Vec<_> = (0..repeat).map(|_| driver::run(&service, &mix, &driver_cfg)).collect();
         service.shutdown();
-        report
+        reports
     };
 
-    let report_name = format!("stress_{name}");
-    let json_text = report.to_json(&report_name);
-    let md_text = report.to_markdown(&report_name);
-    // Self-check before writing: the report must parse with our own reader.
-    json::parse(&json_text).map_err(|e| format!("internal: emitted invalid JSON: {e}"))?;
-    let (json_path, md_path) = vcgp_testkit::bench::write_report(&report_name, &json_text, &md_text)
-        .map_err(|e| format!("write report: {e}"))?;
+    for (pass, report) in reports.iter().enumerate() {
+        let report_name = if repeat == 1 {
+            format!("stress_{name}")
+        } else {
+            format!("stress_{name}-pass{}", pass + 1)
+        };
+        let json_text = report.to_json(&report_name);
+        let md_text = report.to_markdown(&report_name);
+        // Self-check before writing: the report must parse with our own reader.
+        json::parse(&json_text).map_err(|e| format!("internal: emitted invalid JSON: {e}"))?;
+        let (json_path, md_path) =
+            vcgp_testkit::bench::write_report(&report_name, &json_text, &md_text)
+                .map_err(|e| format!("write report: {e}"))?;
 
-    if quiet {
-        println!(
-            "{}: {} ops, {} errors, {:.1} ops/s, p99 {:.3} ms -> {}",
-            report_name,
-            report.ops,
-            report.errors,
-            report.throughput(),
-            report.latency.quantile(0.99) as f64 / 1e6,
-            json_path.display()
-        );
-    } else {
-        println!("\n{md_text}");
-        println!("reports: {} and {}", json_path.display(), md_path.display());
+        if quiet {
+            println!(
+                "{}: {} ops, {} errors, {:.1} ops/s, p99 {:.3} ms, {} cache hits, \
+                 answers {:016x} -> {}",
+                report_name,
+                report.ops,
+                report.errors,
+                report.throughput(),
+                report.latency.quantile(0.99) as f64 / 1e6,
+                report.cache_hits,
+                report.answer_hash,
+                json_path.display()
+            );
+        } else {
+            println!("\n{md_text}");
+            println!("reports: {} and {}", json_path.display(), md_path.display());
+        }
     }
     Ok(())
 }
@@ -237,6 +275,34 @@ fn validate_report(path: &str) -> Result<String, String> {
     for key in ["routed", "scattered", "rejects", "early_drops"] {
         num(key)?;
     }
+    // The answer hash is emitted as a 16-digit hex string (u64 does not fit
+    // an f64 exactly).
+    match doc.get("answer_hash") {
+        Some(json::Value::String(s))
+            if s.len() == 16 && s.chars().all(|c| c.is_ascii_hexdigit()) => {}
+        Some(_) => return Err(format!("{path}: answer_hash is not a 16-digit hex string")),
+        None => return Err(format!("{path}: missing \"answer_hash\"")),
+    }
+    // The result-cache section: all counters present and internally
+    // consistent (hits + misses = all cacheable lookups ≥ insertions).
+    let cache = doc.get("cache").ok_or_else(|| format!("{path}: missing \"cache\""))?;
+    let cache_num = |key: &str| -> Result<f64, String> {
+        cache
+            .get(key)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric field cache.{key:?}"))
+    };
+    cache_num("hits")?;
+    let misses = cache_num("misses")?;
+    let insertions = cache_num("insertions")?;
+    for key in ["evictions", "resident_bytes"] {
+        cache_num(key)?;
+    }
+    if insertions > misses {
+        return Err(format!(
+            "{path}: cache.insertions ({insertions}) exceeds cache.misses ({misses})"
+        ));
+    }
     // Per-shard occupancy: one entry per shard, each with identity and
     // counter fields.
     let per_shard = match doc.get("per_shard") {
@@ -252,11 +318,34 @@ fn validate_report(path: &str) -> Result<String, String> {
         ));
     }
     for (i, entry) in per_shard.iter().enumerate() {
-        for key in ["shard", "owned", "completed", "failed", "queue_hwm"] {
+        for key in [
+            "shard",
+            "owned",
+            "completed",
+            "failed",
+            "rejects",
+            "early_drops",
+            "cache_hits",
+            "queue_hwm",
+        ] {
             entry
                 .get(key)
                 .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("{path}: per_shard[{i}] missing {key:?}"))?;
+        }
+    }
+    // The top-level drop counters are defined as per-shard sums — hold the
+    // report to that.
+    for (total_key, shard_key) in [("rejects", "rejects"), ("early_drops", "early_drops")] {
+        let total = num(total_key)?;
+        let summed: f64 = per_shard
+            .iter()
+            .filter_map(|e| e.get(shard_key).and_then(json::Value::as_f64))
+            .sum();
+        if total != summed {
+            return Err(format!(
+                "{path}: {total_key} is {total} but per_shard sums to {summed}"
+            ));
         }
     }
     let ops = num("ops")?;

@@ -13,14 +13,28 @@
 //! **Sharding visibility.** Clients count routed-vs-scattered dispatches
 //! from each response's [`Route`] and record the gather straggler penalty
 //! of scattered operations; at the end of the run the target's per-shard
-//! snapshots contribute occupancy (queue high-water marks), rejects, and
-//! early drops to the report.
+//! snapshots contribute occupancy (queue high-water marks), rejects, early
+//! drops, and result-cache hit counts to the report.
+//!
+//! **Run scoping.** Service counters are monotone for the process, but one
+//! process can host several driver runs (the bin's `--repeat`, the cache
+//! warm/hot comparison in `scripts/verify.sh`). The driver snapshots the
+//! per-shard counters before spawning clients and reports the *delta*, so
+//! every report describes exactly its own run; gauges (queue high-water
+//! mark, cache resident bytes) keep their end-of-run values.
+//!
+//! **Answer hashing.** Each client folds every successful payload into an
+//! order-independent 64-bit `answer_hash` (XOR of per-operation mixes), so
+//! two runs of the same seeded mix can be checked for *bit-identical
+//! answers* — not just matching counts — from the reports alone. This is
+//! the gate that proves cached answers equal freshly computed ones.
 
 use crate::mix::Mix;
 use crate::rate::TokenBucket;
-use crate::request::{QueryError, QueryRequest, Route};
+use crate::request::{QueryError, QueryOutput, QueryRequest, Route};
 use crate::router::StressTarget;
 use crate::service::{ShardSnapshot, SubmitError};
+use vcgp_core::service::Partial;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -30,6 +44,34 @@ use vcgp_testkit::LogHistogram;
 
 /// Domain separator for per-request workload seeds.
 const REQ_STREAM: u64 = 0x5245_5153; // "REQS"
+
+/// Domain separator for the answer-hash fold.
+const ANS_STREAM: u64 = 0x414E_5348; // "ANSH"
+
+/// Hashes one successful payload, mixed with the operation id so identical
+/// payloads at different stream positions stay distinguishable. XOR-folding
+/// these per-operation mixes is order-independent, so the aggregate hash is
+/// stable no matter how operations interleave across client threads.
+fn output_hash(id: u64, out: &QueryOutput) -> u64 {
+    let payload = match out {
+        QueryOutput::Workload { answer, .. } => mix3(1, *answer, 0),
+        QueryOutput::WorkloadPartial { partial, .. } => match *partial {
+            Partial::Sum(v) => mix3(2, v, 0),
+            Partial::Max(v) => mix3(3, v, 0),
+            Partial::ArgMax { score, vertex } => mix3(4, mix3(score.to_bits(), vertex, 0), 0),
+        },
+        QueryOutput::Degree(d) => mix3(5, *d as u64, 0),
+        // Neighbor lists are order-significant (CSR order), so chain rather
+        // than fold commutatively.
+        QueryOutput::Neighbors(ns) => ns
+            .iter()
+            .fold(mix3(6, ns.len() as u64, 0), |acc, &v| {
+                mix3(acc, u64::from(v), 0)
+            }),
+        QueryOutput::Slept => mix3(7, 0, 0),
+    };
+    mix3(id, payload, ANS_STREAM)
+}
 
 /// Driver settings.
 #[derive(Debug, Clone)]
@@ -105,6 +147,24 @@ pub struct StressReport {
     /// Requests dropped at dequeue with an already-expired deadline (from
     /// the service's counters; disjoint from `timeouts`).
     pub early_drops: u64,
+    /// Result-cache lookups answered without running the engine, summed
+    /// across shards (this run only).
+    pub cache_hits: u64,
+    /// Result-cache misses on cacheable requests, summed across shards
+    /// (this run only).
+    pub cache_misses: u64,
+    /// Result-cache insertions, summed across shards (this run only).
+    pub cache_insertions: u64,
+    /// Result-cache evictions at capacity, summed across shards (this run
+    /// only).
+    pub cache_evictions: u64,
+    /// Bytes resident across every shard's result cache at the end of the
+    /// run (a gauge — not scoped to the run).
+    pub cache_bytes: u64,
+    /// Order-independent XOR fold of every successful payload (see the
+    /// module docs). Two runs of the same seeded mix over the same graph
+    /// must report the same hash, cached or not.
+    pub answer_hash: u64,
     /// End-to-end latency in nanoseconds; coordinated-omission-corrected
     /// (measured from the intended schedule) when a rate is set.
     pub latency: LogHistogram,
@@ -150,18 +210,38 @@ impl StressReport {
             .map(|s| {
                 format!(
                     "{{\"shard\": {}, \"owned\": {}, \"completed\": {}, \"failed\": {}, \
+                     \"rejects\": {}, \"early_drops\": {}, \"cache_hits\": {}, \
                      \"queue_hwm\": {}}}",
-                    s.shard, s.owned, s.stats.completed, s.stats.failed, s.stats.queue_hwm
+                    s.shard,
+                    s.owned,
+                    s.stats.completed,
+                    s.stats.failed,
+                    s.stats.rejected,
+                    s.stats.early_drops,
+                    s.stats.cache_hits,
+                    s.stats.queue_hwm
                 )
             })
             .collect::<Vec<_>>()
             .join(", ");
+        // The answer hash is a string: the reader parses numbers as f64,
+        // which cannot hold a full 64-bit hash exactly.
+        let cache = format!(
+            "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
+             \"resident_bytes\": {}}}",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.cache_bytes
+        );
         format!(
             "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
              \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"elapsed_s\": {:.3},\n  \
              \"ops\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \
              \"timeouts\": {},\n  \"retries\": {},\n  \"routed\": {},\n  \"scattered\": {},\n  \
              \"rejects\": {},\n  \"early_drops\": {},\n  \"throughput_ops_s\": {:.1},\n  \
+             \"answer_hash\": \"{:016x}\",\n  \"cache\": {},\n  \
              \"latency_ns\": {},\n  \"service_ns\": {},\n  \"gather_ns\": {},\n  \
              \"per_shard\": [{}]\n}}\n",
             json_escape(name),
@@ -183,6 +263,8 @@ impl StressReport {
             self.rejects,
             self.early_drops,
             self.throughput(),
+            self.answer_hash,
+            cache,
             hist(&self.latency),
             hist(&self.service_time),
             hist(&self.gather),
@@ -223,6 +305,16 @@ impl StressReport {
             "| rejects / early drops | {} / {} |\n",
             self.rejects, self.early_drops
         ));
+        out.push_str(&format!(
+            "| cache hits / misses | {} / {} |\n",
+            self.cache_hits, self.cache_misses
+        ));
+        out.push_str(&format!(
+            "| cache insertions / evictions | {} / {} |\n",
+            self.cache_insertions, self.cache_evictions
+        ));
+        out.push_str(&format!("| cache resident | {} B |\n", self.cache_bytes));
+        out.push_str(&format!("| answer hash | `{:016x}` |\n", self.answer_hash));
         out.push_str(&format!("| throughput | {:.1} ops/s |\n\n", self.throughput()));
         out.push_str("| histogram (ms) | p50 | p90 | p99 | p99.9 | max |\n|---|---|---|---|---|---|\n");
         for (label, h) in [
@@ -242,12 +334,20 @@ impl StressReport {
         }
         if !self.per_shard.is_empty() {
             out.push_str(
-                "\n| shard | owned | completed | failed | queue hwm |\n|---|---|---|---|---|\n",
+                "\n| shard | owned | completed | failed | rejects | early drops | cache hits | \
+                 queue hwm |\n|---|---|---|---|---|---|---|---|\n",
             );
             for s in &self.per_shard {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} |\n",
-                    s.shard, s.owned, s.stats.completed, s.stats.failed, s.stats.queue_hwm
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    s.shard,
+                    s.owned,
+                    s.stats.completed,
+                    s.stats.failed,
+                    s.stats.rejected,
+                    s.stats.early_drops,
+                    s.stats.cache_hits,
+                    s.stats.queue_hwm
                 ));
             }
         }
@@ -265,6 +365,7 @@ struct ClientStats {
     retries: u64,
     routed: u64,
     scattered: u64,
+    answer_hash: u64,
     latency: LogHistogram,
     service_time: LogHistogram,
     gather: LogHistogram,
@@ -275,6 +376,9 @@ struct ClientStats {
 pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> StressReport {
     assert!(cfg.clients >= 1, "need at least one client");
     let next_op = AtomicU64::new(0);
+    // Counter baseline: the same service process may host several runs, so
+    // the report subtracts what was already on the clocks (see module docs).
+    let baseline = target.shard_snapshots();
     let bucket = cfg
         .rate
         .map(|r| Mutex::new(TokenBucket::new(r, cfg.burst.max(1))));
@@ -306,11 +410,21 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         total.retries += c.retries;
         total.routed += c.routed;
         total.scattered += c.scattered;
+        total.answer_hash ^= c.answer_hash;
         total.latency.merge(&c.latency);
         total.service_time.merge(&c.service_time);
         total.gather.merge(&c.gather);
     }
-    let per_shard = target.shard_snapshots();
+    let per_shard: Vec<ShardSnapshot> = target
+        .shard_snapshots()
+        .into_iter()
+        .zip(&baseline)
+        .map(|(now, before)| ShardSnapshot {
+            shard: now.shard,
+            owned: now.owned,
+            stats: now.stats.delta_since(&before.stats),
+        })
+        .collect();
     let rejects = per_shard.iter().map(|s| s.stats.rejected).sum();
     let early_drops = per_shard.iter().map(|s| s.stats.early_drops).sum();
     StressReport {
@@ -331,6 +445,12 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         scattered: total.scattered,
         rejects,
         early_drops,
+        cache_hits: per_shard.iter().map(|s| s.stats.cache_hits).sum(),
+        cache_misses: per_shard.iter().map(|s| s.stats.cache_misses).sum(),
+        cache_insertions: per_shard.iter().map(|s| s.stats.cache_insertions).sum(),
+        cache_evictions: per_shard.iter().map(|s| s.stats.cache_evictions).sum(),
+        cache_bytes: per_shard.iter().map(|s| s.stats.cache_bytes).sum(),
+        answer_hash: total.answer_hash,
         latency: total.latency,
         service_time: total.service_time,
         gather: total.gather,
@@ -417,7 +537,10 @@ fn client_loop<T: StressTarget>(
             .record(done.saturating_duration_since(intended).as_nanos() as u64);
         stats.service_time.record(resp.service_time.as_nanos() as u64);
         match &resp.result {
-            Ok(_) => stats.ok += 1,
+            Ok(out) => {
+                stats.ok += 1;
+                stats.answer_hash ^= output_hash(resp.id, out);
+            }
             Err(e) => {
                 stats.errors += 1;
                 match e {

@@ -21,6 +21,11 @@
 //!   `VCGP_PARTITIONING` applies) and the router owner-routes point
 //!   lookups, scatters gather-mergeable analytics with typed partial
 //!   merges, and falls back to a primary shard for the rest;
+//! * [`cache`] — the per-core result cache: a capacity-bounded, segmented
+//!   LRU memoizing `(workload, graph fingerprint, seed) → answer` for whole
+//!   analytics answers *and* scattered per-shard partials, with
+//!   deterministic (wall-clock-free) eviction and invalidation hooks for
+//!   graph swaps / re-shards;
 //! * [`rate`] — a GCRA token bucket over integer nanoseconds, exactly
 //!   testable because it never reads a clock;
 //! * [`mix`] — deterministic operation mixes: `(seed, index) → operation`
@@ -36,6 +41,7 @@
 //!
 //! Run the driver with `cargo run --release -p vcgp-stress --bin stress`.
 
+pub mod cache;
 pub mod driver;
 pub use vcgp_testkit::json;
 pub mod mix;
@@ -45,6 +51,7 @@ pub mod router;
 pub mod service;
 pub mod shard;
 
+pub use cache::{CacheKey, CacheScope, CacheStats, CachedAnswer, ResultCache};
 pub use driver::{run, DriverConfig, StressReport};
 pub use mix::Mix;
 pub use rate::TokenBucket;

@@ -29,7 +29,15 @@
 //! * shutdown is graceful: [`GraphService::close`] stops admissions, then
 //!   executors drain everything already accepted, so no accepted request
 //!   loses its response.
+//!
+//! Result caching: each core owns a [`ResultCache`] (unless
+//! [`ServiceConfig::cache_capacity`] is zero). [`Core::submit`] consults it
+//! *before* enqueueing — a hit is answered immediately from the memoized
+//! `(workload, graph fingerprint, seed)` entry without consuming a queue
+//! slot or an executor — and executors insert every freshly computed
+//! workload answer (whole or scattered leg) on completion.
 
+use crate::cache::{CacheKey, CacheScope, CachedAnswer, ResultCache};
 use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,6 +92,11 @@ pub struct ServiceConfig {
     pub backoff_cap: Duration,
     /// Seed of the retry-jitter stream (mixed with request id and attempt).
     pub seed: u64,
+    /// Result-cache capacity in entries, per core (per shard when sharded).
+    /// Zero disables caching entirely. Entries are scalar-sized, so the
+    /// resident bound is a few hundred bytes per entry (see
+    /// [`crate::cache::CacheStats::resident_bytes`]).
+    pub cache_capacity: usize,
     /// Engine configuration for workload execution. Defaults to a single
     /// worker per executor — concurrency comes from running many requests
     /// at once, not from parallelizing each one. Its `partitioning` field
@@ -104,6 +117,7 @@ impl Default for ServiceConfig {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
             seed: 0x5354_5253, // "STRS"
+            cache_capacity: 256,
             engine: PregelConfig::single_worker(),
         }
     }
@@ -151,11 +165,24 @@ pub struct ServiceStats {
     /// High-water mark of the queue depth (pending requests) since start —
     /// the occupancy gauge behind the stress report's per-shard column.
     pub queue_hwm: u64,
+    /// Result-cache lookups answered without running the engine.
+    pub cache_hits: u64,
+    /// Result-cache lookups that found nothing (cacheable requests only).
+    pub cache_misses: u64,
+    /// Entries inserted into the result cache.
+    pub cache_insertions: u64,
+    /// Entries evicted from the result cache at capacity.
+    pub cache_evictions: u64,
+    /// Bytes currently resident in the result cache (a gauge, not a
+    /// monotone counter; summed across cores by [`ServiceStats::absorb`]
+    /// into the fleet-resident total).
+    pub cache_bytes: u64,
 }
 
 impl ServiceStats {
     /// Folds another core's counters into this one (high-water marks take
-    /// the maximum, everything else adds).
+    /// the maximum, everything else — including the resident-bytes gauge,
+    /// which sums to the fleet total — adds).
     pub fn absorb(&mut self, other: &ServiceStats) {
         self.completed += other.completed;
         self.failed += other.failed;
@@ -165,6 +192,33 @@ impl ServiceStats {
         self.rejected += other.rejected;
         self.early_drops += other.early_drops;
         self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_insertions += other.cache_insertions;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bytes += other.cache_bytes;
+    }
+
+    /// The counters accumulated *since* `earlier` (monotone counters
+    /// subtract; the gauges — queue high-water mark and cache resident
+    /// bytes — keep their current value). Used by the driver to scope a
+    /// report to one run when several runs share a service process.
+    pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            completed: self.completed - earlier.completed,
+            failed: self.failed - earlier.failed,
+            retries: self.retries - earlier.retries,
+            timeouts: self.timeouts - earlier.timeouts,
+            panics: self.panics - earlier.panics,
+            rejected: self.rejected - earlier.rejected,
+            early_drops: self.early_drops - earlier.early_drops,
+            queue_hwm: self.queue_hwm,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_insertions: self.cache_insertions - earlier.cache_insertions,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_bytes: self.cache_bytes,
+        }
     }
 }
 
@@ -209,6 +263,8 @@ struct Shared {
     not_full: Condvar,
     capacity: usize,
     counters: Counters,
+    /// The core's result cache; `None` when `cache_capacity` is zero.
+    cache: Option<ResultCache>,
 }
 
 /// How an executor turns a dequeued request into an output. Implemented by
@@ -220,6 +276,41 @@ pub(crate) trait ExecBackend: Send + Sync + 'static {
         seed: u64,
         engine: &PregelConfig,
     ) -> Result<QueryOutput, QueryError>;
+
+    /// The result-cache identity of `(kind, seed)` on this backend, or
+    /// `None` for kinds that must not be memoized (point lookups, debug
+    /// hooks). The default backend is uncacheable.
+    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
+        let _ = (kind, seed);
+        None
+    }
+}
+
+/// The memoizable payload of an output, if any (point-lookup and debug
+/// payloads are never cached).
+fn cacheable_output(output: &QueryOutput) -> Option<CachedAnswer> {
+    match *output {
+        QueryOutput::Workload { answer, supersteps, messages } => {
+            Some(CachedAnswer::Whole { answer, supersteps, messages })
+        }
+        QueryOutput::WorkloadPartial { partial, supersteps, messages } => {
+            Some(CachedAnswer::Leg { partial, supersteps, messages })
+        }
+        _ => None,
+    }
+}
+
+/// Rehydrates a memoized answer into the response payload it was cached
+/// from.
+fn cached_output(value: CachedAnswer) -> QueryOutput {
+    match value {
+        CachedAnswer::Whole { answer, supersteps, messages } => {
+            QueryOutput::Workload { answer, supersteps, messages }
+        }
+        CachedAnswer::Leg { partial, supersteps, messages } => {
+            QueryOutput::WorkloadPartial { partial, supersteps, messages }
+        }
+    }
 }
 
 /// A pending response. Dropping the ticket abandons the response (the
@@ -265,6 +356,7 @@ fn failure_response(id: u64, error: QueryError) -> QueryResponse {
 /// the sharded service.
 pub(crate) struct Core {
     shared: Arc<Shared>,
+    backend: Arc<dyn ExecBackend>,
     workers: Vec<JoinHandle<()>>,
     policy: QueueFullPolicy,
 }
@@ -288,6 +380,7 @@ impl Core {
             not_full: Condvar::new(),
             capacity: config.queue_capacity,
             counters: Counters::default(),
+            cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
         });
         let workers = (0..config.executors)
             .map(|i| {
@@ -302,16 +395,49 @@ impl Core {
             .collect();
         Core {
             shared,
+            backend,
             workers,
             policy: config.queue_policy,
         }
     }
 
+    /// Consults the result cache for `req`; a hit is answered immediately
+    /// (counted as completed) without touching the queue. `None` means the
+    /// request must execute: uncacheable kind, caching disabled, or a miss.
+    fn cached_response(&self, req: &QueryRequest) -> Option<Ticket> {
+        let cache = self.shared.cache.as_ref()?;
+        let key = self.backend.cache_key(&req.kind, req.seed)?;
+        let value = cache.get(&key)?;
+        self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(QueryResponse {
+            id: req.id,
+            result: Ok(cached_output(value)),
+            attempts: 0,
+            queue_wait: Duration::ZERO,
+            service_time: Duration::ZERO,
+            backoff: Duration::ZERO,
+            route: Route::Direct,
+            gather_wait: Duration::ZERO,
+        });
+        Some(Ticket { id: req.id, rx })
+    }
+
     /// Submits a request under the configured [`QueueFullPolicy`]: blocks
     /// while full (`Block`), or sheds with an immediate
-    /// [`QueryError::Rejected`] response (`Reject`). Errs only when closed.
+    /// [`QueryError::Rejected`] response (`Reject`). A result-cache hit is
+    /// answered without enqueueing (and is never shed — it costs no queue
+    /// slot). Errs only when closed.
     pub(crate) fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        drop(state);
+        if let Some(ticket) = self.cached_response(&req) {
+            return Ok(ticket);
+        }
+        state = self.shared.state.lock().unwrap();
         loop {
             if state.closed {
                 return Err(SubmitError::Closed);
@@ -336,8 +462,17 @@ impl Core {
     }
 
     /// Non-blocking submit: fails immediately when the queue is full or the
-    /// service is closed, regardless of policy.
+    /// service is closed, regardless of policy (cache hits still answer —
+    /// they need no queue slot).
     pub(crate) fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        drop(state);
+        if let Some(ticket) = self.cached_response(&req) {
+            return Ok(ticket);
+        }
         let state = self.shared.state.lock().unwrap();
         if state.closed {
             return Err(SubmitError::Closed);
@@ -385,6 +520,7 @@ impl Core {
     pub(crate) fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
         let hwm = self.shared.state.lock().unwrap().depth_hwm;
+        let cache = self.shared.cache.as_ref().map(ResultCache::stats).unwrap_or_default();
         ServiceStats {
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
@@ -394,6 +530,19 @@ impl Core {
             rejected: c.rejected.load(Ordering::Relaxed),
             early_drops: c.early_drops.load(Ordering::Relaxed),
             queue_hwm: hwm as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_insertions: cache.insertions,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.resident_bytes,
+        }
+    }
+
+    /// Drops every result-cache entry (no-op when caching is disabled) —
+    /// the invalidation hook a graph swap or re-shard must fire.
+    pub(crate) fn invalidate_cache(&self) {
+        if let Some(cache) = &self.shared.cache {
+            cache.invalidate_all();
         }
     }
 
@@ -412,6 +561,8 @@ impl Drop for Core {
 /// The full-resident-graph execution backend behind [`GraphService`].
 struct FullGraphBackend {
     graph: Arc<Graph>,
+    /// Structural fingerprint of the resident graph, computed once at load.
+    fingerprint: u64,
 }
 
 impl ExecBackend for FullGraphBackend {
@@ -423,6 +574,37 @@ impl ExecBackend for FullGraphBackend {
     ) -> Result<QueryOutput, QueryError> {
         execute_on_full_graph(&self.graph, kind, seed, engine)
     }
+
+    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
+        workload_cache_key(kind, seed, self.fingerprint, self.fingerprint)
+    }
+}
+
+/// The cache key of a workload request on a backend whose whole answers
+/// are identified by `whole_fp` and whose scattered legs by `leg_fp`.
+/// `None` for everything that must not be memoized (point lookups, debug
+/// hooks). Shared with the shard backend.
+pub(crate) fn workload_cache_key(
+    kind: &QueryKind,
+    seed: u64,
+    whole_fp: u64,
+    leg_fp: u64,
+) -> Option<CacheKey> {
+    match *kind {
+        QueryKind::Workload(w) => Some(CacheKey {
+            workload: w,
+            scope: CacheScope::Whole,
+            fingerprint: whole_fp,
+            seed,
+        }),
+        QueryKind::WorkloadPartial(w) => Some(CacheKey {
+            workload: w,
+            scope: CacheScope::Leg,
+            fingerprint: leg_fp,
+            seed,
+        }),
+        _ => None,
+    }
 }
 
 /// A resident graph serving typed queries from a bounded queue.
@@ -432,9 +614,11 @@ pub struct GraphService {
 }
 
 impl GraphService {
-    /// Loads `graph` behind the service and spawns the executor pool.
+    /// Loads `graph` behind the service (fingerprinting it once for the
+    /// result cache) and spawns the executor pool.
     pub fn start(graph: Arc<Graph>, config: ServiceConfig) -> GraphService {
         let backend = Arc::new(FullGraphBackend {
+            fingerprint: vcgp_core::fingerprint::graph_fingerprint(&graph),
             graph: Arc::clone(&graph),
         });
         let core = Core::start(backend, &config, "exec");
@@ -480,6 +664,13 @@ impl GraphService {
     /// A snapshot of the cumulative counters.
     pub fn stats(&self) -> ServiceStats {
         self.core.stats()
+    }
+
+    /// Drops every result-cache entry. The invalidation hook that any
+    /// future graph swap must fire before serving against the new graph
+    /// (a no-op when caching is disabled).
+    pub fn invalidate_cache(&self) {
+        self.core.invalidate_cache();
     }
 
     /// Requests currently waiting in the queue.
@@ -554,6 +745,17 @@ fn serve(
             }
             Ok(Err(e)) => break Err(e), // permanent: retrying cannot help
             Ok(Ok(output)) => {
+                // Memoize the computed answer even when this attempt blew
+                // its timeout — the value is correct and deterministic, so
+                // a later identical request (or this one's retry path, via
+                // a fresh submit) gets it for free.
+                if let Some(cache) = &shared.cache {
+                    if let Some(key) = backend.cache_key(&req.kind, req.seed) {
+                        if let Some(value) = cacheable_output(&output) {
+                            cache.insert(key, value);
+                        }
+                    }
+                }
                 if elapsed <= req.timeout {
                     break Ok(output);
                 }

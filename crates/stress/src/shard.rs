@@ -25,11 +25,15 @@
 //! counters, and queue-depth high-water mark, so per-shard occupancy is
 //! observable ([`ShardedGraphService::shard_snapshots`]).
 
+use crate::cache::CacheKey;
 use crate::request::{QueryError, QueryKind, QueryOutput};
 use crate::service::{
-    execute_on_full_graph, Core, ExecBackend, ServiceConfig, ServiceStats, ShardSnapshot,
+    execute_on_full_graph, workload_cache_key, Core, ExecBackend, ServiceConfig, ServiceStats,
+    ShardSnapshot,
 };
 use std::sync::Arc;
+use vcgp_core::fingerprint::{graph_fingerprint, leg_fingerprint};
+use vcgp_graph::rng::mix3;
 use vcgp_graph::{Graph, GraphBuilder, VertexId};
 use vcgp_pregel::partition::Partitioner;
 use vcgp_pregel::PregelConfig;
@@ -61,6 +65,13 @@ struct ShardBackend {
     partitioner: Partitioner,
     full: Arc<Graph>,
     local: Graph,
+    /// Fingerprint of the full structural graph (identifies whole answers
+    /// on the primary-shard fall-back path). Computed once at start.
+    whole_fp: u64,
+    /// Fingerprint of this shard's scattered legs: full graph ⊕ local
+    /// slice, so a leg's cache identity pins down both the algorithm input
+    /// and the ownership predicate (any re-shard changes it).
+    leg_fp: u64,
 }
 
 impl ShardBackend {
@@ -111,6 +122,10 @@ impl ExecBackend for ShardBackend {
             _ => execute_on_full_graph(&self.full, kind, seed, engine),
         }
     }
+
+    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
+        workload_cache_key(kind, seed, self.whole_fp, self.leg_fp)
+    }
 }
 
 pub(crate) struct Shard {
@@ -138,14 +153,30 @@ impl ShardedGraphService {
         assert!(num_shards >= 1, "need at least one shard");
         let n = graph.num_vertices();
         let partitioner = Partitioner::new(config.engine.partitioning, n, num_shards);
+        let whole_fp = graph_fingerprint(&graph);
         let shards = (0..num_shards)
             .map(|s| {
                 let owned = (0..n as VertexId).filter(|&v| partitioner.owner(v) == s).count();
+                let local = build_local_slice(&graph, &partitioner, s);
+                // The slice fingerprint alone misses owned vertices with no
+                // out-arcs (sinks leave no trace in the slice), so fold in
+                // an order-independent hash of the owned id set — the leg
+                // identity then changes under *any* ownership change.
+                let owned_hash = (0..n as VertexId)
+                    .filter(|&v| partitioner.owner(v) == s)
+                    .fold(0u64, |acc, v| {
+                        acc.wrapping_add(mix3(u64::from(v), 0x4F57_4E53, 0)) // "OWNS"
+                    });
                 let backend = Arc::new(ShardBackend {
                     shard: s,
                     partitioner,
                     full: Arc::clone(&graph),
-                    local: build_local_slice(&graph, &partitioner, s),
+                    whole_fp,
+                    leg_fp: leg_fingerprint(
+                        whole_fp,
+                        mix3(graph_fingerprint(&local), owned_hash, 0x534C_4943), // "SLIC"
+                    ),
+                    local,
                 });
                 Shard {
                     core: Core::start(backend, &config, &format!("shard{s}")),
@@ -198,6 +229,15 @@ impl ShardedGraphService {
             total.absorb(&sh.core.stats());
         }
         total
+    }
+
+    /// Drops every shard's result-cache entries. The invalidation hook that
+    /// any future graph swap or live re-shard must fire before serving
+    /// resumes (a no-op when caching is disabled).
+    pub fn invalidate_cache(&self) {
+        for sh in &self.shards {
+            sh.core.invalidate_cache();
+        }
     }
 
     /// Stops admissions on every shard; accepted requests still drain.

@@ -7,7 +7,7 @@
 use vcgp_graph::generators;
 use vcgp_stress::mix::Mix;
 use vcgp_stress::rate::TokenBucket;
-use vcgp_testkit::prop::{Source, Strategy};
+use vcgp_testkit::prop::Source;
 use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
 
 /// A seeded non-decreasing arrival sequence with mixed gap scales

@@ -4,7 +4,7 @@
 //! depend on.
 
 use vcgp_testkit::hist::LogHistogram;
-use vcgp_testkit::prop::{Source, Strategy};
+use vcgp_testkit::prop::Source;
 use vcgp_testkit::{prop_assert, prop_assert_eq, vcgp_props};
 
 /// Draws `count` values spread across magnitudes: small linear-region
@@ -91,6 +91,61 @@ vcgp_props! {
         prop_assert_eq!(bucket_total, merged.count());
     }
 
+    // Merging is commutative: a⊕b and b⊕a agree on every observable —
+    // count, extrema, the full quantile curve, and the raw buckets.
+    fn merge_is_commutative(
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        n_a in 0usize..200,
+        n_b in 0usize..200,
+    ) {
+        let mut a = LogHistogram::new();
+        for v in draw_values(seed_a, n_a) {
+            a.record(v);
+        }
+        let mut b = LogHistogram::new();
+        for v in draw_values(seed_b ^ 0x4D52_4745, n_b) {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(ab.quantile(q), ba.quantile(q));
+        }
+        let buckets_ab: Vec<_> = ab.nonzero_buckets().collect();
+        let buckets_ba: Vec<_> = ba.nonzero_buckets().collect();
+        prop_assert_eq!(buckets_ab, buckets_ba);
+    }
+
+    // An empty histogram is the merge identity from either side.
+    fn merging_empty_is_identity(seed in 0u64..1_000_000, n in 1usize..200) {
+        let mut h = LogHistogram::new();
+        for v in draw_values(seed, n) {
+            h.record(v);
+        }
+        let empty = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        left.merge(&h); // empty ⊕ nonempty
+        let mut right = h.clone();
+        right.merge(&empty); // nonempty ⊕ empty
+        for merged in [&left, &right] {
+            prop_assert_eq!(merged.count(), h.count());
+            prop_assert_eq!(merged.min(), h.min());
+            prop_assert_eq!(merged.max(), h.max());
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                prop_assert_eq!(merged.quantile(q), h.quantile(q));
+            }
+        }
+    }
+
     fn record_n_equals_repeated_record(v_seed in 0u64..1_000_000, n in 1u64..50) {
         let v = vcgp_graph::SplitMix64::new(v_seed).next_u64() >> (v_seed % 40);
         let mut a = LogHistogram::new();
@@ -105,4 +160,18 @@ vcgp_props! {
             prop_assert_eq!(a.quantile(q), b.quantile(q));
         }
     }
+}
+
+#[test]
+fn merging_two_empty_histograms_stays_empty() {
+    let mut a = LogHistogram::new();
+    let b = LogHistogram::new();
+    a.merge(&b);
+    assert_eq!(a.count(), 0);
+    assert_eq!(a.nonzero_buckets().count(), 0);
+    // Empty-histogram observables are unchanged by the empty merge.
+    let fresh = LogHistogram::new();
+    assert_eq!(a.min(), fresh.min());
+    assert_eq!(a.max(), fresh.max());
+    assert_eq!(a.quantile(0.5), fresh.quantile(0.5));
 }

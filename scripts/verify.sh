@@ -38,6 +38,13 @@ cargo build --workspace --release --offline
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+echo "== cargo clippy --offline -- -D warnings (when clippy is installed)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "   skipped: clippy not installed in this toolchain"
+fi
+
 echo "== cargo bench -p vcgp-bench --no-run --offline (benches must compile)"
 cargo bench -p vcgp-bench --no-run --offline
 
@@ -59,7 +66,10 @@ for s in 1 4; do
     ./target/release/stress --validate-report "target/vcgp-bench/BENCH_stress_shard$s.json"
 done
 counts() {
-    sed -n 's/^[[:space:]]*"\(ops\|ok\|errors\)": \([0-9]*\),*$/\1=\2/p' "$1" | sort
+    {
+        sed -n 's/^[[:space:]]*"\(ops\|ok\|errors\)": \([0-9]*\),*$/\1=\2/p' "$1"
+        sed -n 's/^[[:space:]]*"answer_hash": "\([0-9a-f]*\)",*$/answer_hash=\1/p' "$1"
+    } | sort
 }
 c1=$(counts target/vcgp-bench/BENCH_stress_shard1.json)
 c4=$(counts target/vcgp-bench/BENCH_stress_shard4.json)
@@ -70,5 +80,31 @@ if [ "$c1" != "$c4" ]; then
     exit 1
 fi
 echo "   ok: shard1/shard4 agree ($(echo $c1 | tr '\n' ' '))"
+
+echo "== cache smoke (same seeded mix twice against ONE service process; the"
+echo "   passes must answer bit-identically and pass 2 must hit the cache)"
+./target/release/stress --gen gnm-connected:256:1024:7 --ops 300 --duration 30 \
+    --seed 7 --mix mixed --shards 2 --repeat 2 --name cache --quiet
+for p in 1 2; do
+    ./target/release/stress --validate-report \
+        "target/vcgp-bench/BENCH_stress_cache-pass$p.json"
+done
+hash_of() {
+    sed -n 's/^[[:space:]]*"answer_hash": "\([0-9a-f]*\)",*$/\1/p' "$1"
+}
+h1=$(hash_of target/vcgp-bench/BENCH_stress_cache-pass1.json)
+h2=$(hash_of target/vcgp-bench/BENCH_stress_cache-pass2.json)
+if [ -z "$h1" ] || [ "$h1" != "$h2" ]; then
+    echo "error: cached pass answered differently from the cold pass:" >&2
+    echo "pass 1: ${h1:-missing}   pass 2: ${h2:-missing}" >&2
+    exit 1
+fi
+hits=$(sed -n 's/.*"cache": {"hits": \([0-9]*\),.*/\1/p' \
+    target/vcgp-bench/BENCH_stress_cache-pass2.json)
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "error: second pass over the same stream recorded no cache hits" >&2
+    exit 1
+fi
+echo "   ok: answers identical ($h1), pass-2 cache hits: $hits"
 
 echo "tier-1 verify: OK"
