@@ -97,16 +97,21 @@ const FULL: Profile = Profile {
     measurement: Duration::from_millis(700),
 };
 
+// Smoke must be big enough that per-superstep fixed costs amortize —
+// at 600 vertices the W=4 bookkeeping overhead dominated the message
+// work and the verify.sh scaling gate measured bookkeeping, not the
+// message plane. 2500/10000 keeps the run under a few seconds while
+// holding the W=4/W=1 ratio stable across reruns.
 const SMOKE: Profile = Profile {
     name: "smoke",
-    vertices: 600,
-    edges: 2_400,
+    vertices: 2_500,
+    edges: 10_000,
     pagerank_iterations: 4,
     spin_rounds: 10,
-    workers: &[1, 2],
-    sample_size: 3,
-    warm_up: Duration::from_millis(20),
-    measurement: Duration::from_millis(90),
+    workers: &[1, 2, 4],
+    sample_size: 5,
+    warm_up: Duration::from_millis(30),
+    measurement: Duration::from_millis(150),
 };
 
 fn main() {
@@ -166,7 +171,7 @@ fn run_benches(profile: &Profile) {
     let (_, spin_steps) = run_card(|cfg| vcgp_pregel::run(&spin, &plain, cfg).1);
     for &w in profile.workers {
         let cfg = PregelConfig::default().with_workers(w);
-        group.throughput(Throughput::Elements(spin_steps));
+        group.throughput(Throughput::Supersteps(spin_steps));
         group.bench_with_input(BenchmarkId::new("spin_supersteps", w), &cfg, |b, cfg| {
             b.iter(|| vcgp_pregel::run(&spin, &plain, cfg));
         });
@@ -179,7 +184,7 @@ fn run_benches(profile: &Profile) {
     let (pr_msgs, _) = run_card(|cfg| vcgp_pregel::run(&pagerank, &plain, cfg).1);
     for &w in profile.workers {
         let cfg = PregelConfig::default().with_workers(w);
-        group.throughput(Throughput::Elements(pr_msgs));
+        group.throughput(Throughput::Messages(pr_msgs));
         group.bench_with_input(BenchmarkId::new("pagerank_nocombine", w), &cfg, |b, cfg| {
             b.iter(|| vcgp_pregel::run(&pagerank, &plain, cfg));
         });
@@ -189,7 +194,7 @@ fn run_benches(profile: &Profile) {
     let (sssp_msgs, _) = run_card(|cfg| sssp::run(&weighted, 0, cfg).stats);
     for &w in profile.workers {
         let cfg = PregelConfig::default().with_workers(w);
-        group.throughput(Throughput::Elements(sssp_msgs));
+        group.throughput(Throughput::Messages(sssp_msgs));
         group.bench_with_input(BenchmarkId::new("sssp_combine", w), &cfg, |b, cfg| {
             b.iter(|| sssp::run(&weighted, 0, cfg));
         });
@@ -199,7 +204,7 @@ fn run_benches(profile: &Profile) {
     let (wcc_msgs, _) = run_card(|cfg| wcc::run(&digraph, cfg).stats);
     for &w in profile.workers {
         let cfg = PregelConfig::default().with_workers(w);
-        group.throughput(Throughput::Elements(wcc_msgs));
+        group.throughput(Throughput::Messages(wcc_msgs));
         group.bench_with_input(BenchmarkId::new("wcc_combine", w), &cfg, |b, cfg| {
             b.iter(|| wcc::run(&digraph, cfg));
         });

@@ -71,6 +71,7 @@ mod tests {
                     sent,
                     received,
                     wall: Duration::ZERO,
+                    ..Default::default()
                 })
                 .collect(),
             ..Default::default()

@@ -1,7 +1,48 @@
 //! The BSP execution engine.
 //!
-//! Vertices are partitioned over `W` worker threads by `v mod W`; each
-//! superstep runs three phases separated by barriers:
+//! Vertices are partitioned over `W` logical workers (the partitioning and
+//! determinism domain: per-worker worklists, message lanes, and statistics
+//! are all defined in terms of `W`). *Execution* happens on `T` OS threads,
+//! a separate knob: `T = min(W, machine cores)` by default, overridable via
+//! [`PregelConfig::num_threads`] / `VCGP_THREADS`. Decoupling the two is
+//! what fixed the negative multi-worker scaling this module used to show —
+//! on a machine with fewer cores than workers, oversubscribed threads spent
+//! more time context-switching through per-superstep barriers than
+//! computing.
+//!
+//! Two drivers implement identical semantics:
+//!
+//! * **Serial driver** (`T == 1`): all `W` workers run multiplexed on the
+//!   calling thread in ascending worker order — no threads, no barriers, no
+//!   outbox matrix, and one *shared* outgoing buffer set whose lanes hold
+//!   exactly the sender-ordered message stream the threaded delivery phase
+//!   would produce. Results, message totals, and delivered counts are
+//!   bit-identical to every other configuration; only the
+//!   `messages_combined_sender` transport observable moves (the shared
+//!   combining table folds across hosted senders).
+//! * **Threaded driver** (`T > 1`): `T` threads are spawned once per run
+//!   (not per superstep phase) and synchronize on a sense-reversing
+//!   spin-then-park [`crate::barrier::PhaseBarrier`] — two crossings per
+//!   superstep (compute and delivery; the serial master phase runs inside
+//!   the delivery barrier's leader closure), down from three
+//!   `std::sync::Barrier` waits. Cross-worker message handoff goes through
+//!   lock-free outbox slots sequenced by those barriers instead of a
+//!   `W x W` mutex matrix.
+//!
+//! The threaded driver load-balances with **deterministic work stealing**:
+//! each worker's sorted worklist is split into fixed-size chunks
+//! ([`PregelConfig::steal_chunk`]), any thread may claim a chunk via an
+//! atomic cursor, and each chunk buffers its outputs (messages, survivors,
+//! aggregator partial) privately. The last thread to finish a worker's
+//! chunks replays them *in chunk order* through the worker's master
+//! buffers — the exact push sequence single-threaded execution would have
+//! produced — so vertex values, message streams, and delivered counts are
+//! bit-identical regardless of which thread executed which chunk. (For
+//! `F64` aggregators the chunk-ordered fold grouping is deterministic but
+//! may differ from the unchunked grouping in the last ulp — the usual
+//! caveat of any parallel fold; integer/bool aggregators are exact.)
+//!
+//! Superstep phases (all drivers):
 //!
 //! 1. **compute** — every worker runs `compute` on its runnable vertices
 //!    (tracked in a sorted per-worker worklist, so sparse supersteps cost
@@ -11,31 +52,45 @@
 //! 2. **delivery** — every worker drains the buffers addressed to it *in
 //!    fixed sender order*, so message delivery order is deterministic
 //!    regardless of thread scheduling;
-//! 3. **master** — worker 0 merges aggregators and statistics, runs the
-//!    program's master-compute hook, and decides whether to stop.
+//! 3. **master** — aggregators and statistics are merged in worker order,
+//!    the program's master-compute hook runs, and the run stops or
+//!    continues.
 //!
 //! The engine never holds a lock across a barrier, and every shared mutex
 //! is either per-worker (uncontended) or touched only in the serial master
 //! phase.
 
 use crate::aggregate::{AggValue, AggregatorDef};
-use crate::metrics::{BufferStats, HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats};
+use crate::barrier::PhaseBarrier;
+use crate::metrics::{
+    BufferStats, HaltReason, PerVertexStats, RunStats, SuperstepStats, WorkerStats,
+};
 use crate::partition::{Partitioner, Partitioning};
 use crate::pool::{BufferCounters, OutboxSlot};
-use crate::program::{Context, MasterContext, Outgoing, VertexProgram};
+use crate::program::{Combiner, Context, MasterContext, Outgoing, VertexProgram};
 use crate::state_size::StateSize;
-use std::sync::{Barrier, Mutex};
-use std::time::Instant;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use vcgp_graph::{Graph, VertexId};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct PregelConfig {
-    /// Number of worker threads `p` (the processor count of the BSP cost
-    /// model). Defaults to the machine parallelism, capped at 8; the
-    /// `VCGP_WORKERS` environment variable overrides the default (so
-    /// service deployments can use every core without code changes).
+    /// Number of logical workers `p` (the processor count of the BSP cost
+    /// model): the partitioning, worklist, and statistics domain. Defaults
+    /// to the machine parallelism, capped at 8; the `VCGP_WORKERS`
+    /// environment variable overrides the default (so service deployments
+    /// can use every core without code changes).
     pub num_workers: usize,
+    /// Number of OS threads executing those workers. `0` (the default)
+    /// resolves to `min(num_workers, machine cores)` — workers beyond the
+    /// core count are multiplexed instead of oversubscribing the scheduler,
+    /// which is what used to make W=4 *slower* than W=1 on small machines.
+    /// The `VCGP_THREADS` environment variable overrides the default.
+    /// Results are identical for every thread count.
+    pub num_threads: usize,
     /// Hard cap on supersteps (a safety net; converging algorithms never
     /// reach it).
     pub max_supersteps: u64,
@@ -44,17 +99,41 @@ pub struct PregelConfig {
     /// Record per-vertex maxima (messages, work, state bytes) for the BPPA
     /// checker. Adds O(n) bookkeeping per superstep and disables
     /// *sender-side* combining (per-message receive counts must stay
-    /// exact); off by default.
+    /// exact) as well as work stealing; off by default.
     pub track_per_vertex: bool,
     /// Vertex-to-worker assignment strategy. Defaults to hash; the
     /// `VCGP_PARTITIONING` environment variable (`hash` / `range`)
     /// overrides the default, mirroring `VCGP_WORKERS`.
     pub partitioning: Partitioning,
+    /// Work-stealing granularity for the threaded driver, in worklist
+    /// entries per chunk; `0` disables stealing (each worker's list runs
+    /// entirely on its home thread). Ignored when one thread runs the show.
+    /// The `VCGP_STEAL_CHUNK` environment variable overrides the default
+    /// ([`DEFAULT_STEAL_CHUNK`]). Results are identical either way.
+    pub steal_chunk: usize,
 }
 
-/// Hard sanity cap on `VCGP_WORKERS`: more threads than this is never a
-/// deliberate configuration on current hardware.
+/// Hard sanity cap on `VCGP_WORKERS` / `VCGP_THREADS`: more than this is
+/// never a deliberate configuration on current hardware.
 const MAX_ENV_WORKERS: usize = 1024;
+
+/// Default work-stealing chunk size: big enough that claim/merge overhead
+/// amortizes to noise, small enough that a skewed worklist splits across
+/// threads.
+pub const DEFAULT_STEAL_CHUNK: usize = 1024;
+
+/// Upper bound accepted for `VCGP_STEAL_CHUNK`.
+const MAX_STEAL_CHUNK: usize = 1 << 30;
+
+/// The machine's core count, resolved once per process.
+fn machine_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
 
 impl PregelConfig {
     /// Resolves the default worker count from an optional `VCGP_WORKERS`
@@ -66,6 +145,28 @@ impl PregelConfig {
         value
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&w| (1..=MAX_ENV_WORKERS).contains(&w))
+            .unwrap_or(fallback)
+    }
+
+    /// Resolves the default thread count from an optional `VCGP_THREADS`
+    /// value. `0` is *valid* here and means "auto" (`min(workers, cores)`);
+    /// positive integers up to [`MAX_ENV_WORKERS`] pin the count; anything
+    /// else falls back to `fallback`.
+    pub fn threads_from_env(value: Option<&str>, fallback: usize) -> usize {
+        value
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t <= MAX_ENV_WORKERS)
+            .unwrap_or(fallback)
+    }
+
+    /// Resolves the default steal-chunk size from an optional
+    /// `VCGP_STEAL_CHUNK` value. `0` is valid and disables stealing;
+    /// positive sizes up to [`MAX_STEAL_CHUNK`] win; anything else falls
+    /// back to `fallback`.
+    pub fn steal_chunk_from_env(value: Option<&str>, fallback: usize) -> usize {
+        value
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c <= MAX_STEAL_CHUNK)
             .unwrap_or(fallback)
     }
 
@@ -83,24 +184,42 @@ impl PregelConfig {
             _ => fallback,
         }
     }
+
+    /// The OS thread count this configuration actually runs with: the
+    /// explicit `num_threads` if set, else the machine's core count, never
+    /// more than the worker count and never less than one.
+    pub fn resolved_threads(&self) -> usize {
+        let w = self.num_workers.max(1);
+        let t = if self.num_threads == 0 {
+            machine_parallelism()
+        } else {
+            self.num_threads
+        };
+        t.min(w).max(1)
+    }
 }
 
 impl Default for PregelConfig {
     fn default() -> Self {
-        let hardware = std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(4);
+        let hardware = machine_parallelism().min(8);
         let env = std::env::var("VCGP_WORKERS").ok();
         let workers = PregelConfig::workers_from_env(env.as_deref(), hardware);
+        let threads_env = std::env::var("VCGP_THREADS").ok();
+        let threads = PregelConfig::threads_from_env(threads_env.as_deref(), 0);
+        let chunk_env = std::env::var("VCGP_STEAL_CHUNK").ok();
+        let steal_chunk =
+            PregelConfig::steal_chunk_from_env(chunk_env.as_deref(), DEFAULT_STEAL_CHUNK);
         let part_env = std::env::var("VCGP_PARTITIONING").ok();
         let partitioning =
             PregelConfig::partitioning_from_env(part_env.as_deref(), Partitioning::Hash);
         PregelConfig {
             num_workers: workers,
+            num_threads: threads,
             max_supersteps: 1_000_000,
             seed: 0x5653_4750,
             track_per_vertex: false,
             partitioning,
+            steal_chunk,
         }
     }
 }
@@ -115,10 +234,22 @@ impl PregelConfig {
         }
     }
 
-    /// Sets the worker count.
+    /// Sets the logical worker count.
     pub fn with_workers(mut self, w: usize) -> Self {
         assert!(w >= 1, "at least one worker required");
         self.num_workers = w;
+        self
+    }
+
+    /// Sets the OS thread count (`0` = auto: `min(workers, cores)`).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.num_threads = t;
+        self
+    }
+
+    /// Sets the work-stealing chunk size (`0` disables stealing).
+    pub fn with_steal_chunk(mut self, c: usize) -> Self {
+        self.steal_chunk = c;
         self
     }
 
@@ -160,14 +291,20 @@ where
     run_with_values(program, graph, values, config)
 }
 
-/// Per-worker mutable state, owned exclusively by one worker thread during
-/// the run and reassembled afterwards.
+/// Per-worker mutable state. During a run exactly one thread touches it at
+/// a time (which thread rotates with the phase protocol); afterwards it is
+/// reassembled into the caller's result.
 struct WorkerState<V, M> {
     /// Global vertex ids owned by this worker (`me`, `me + W`, ...).
     ids: Vec<VertexId>,
     values: Vec<V>,
     active: Vec<bool>,
     inbox: Vec<Vec<M>>,
+    /// Sorted local indices to run this superstep.
+    run_list: Vec<u32>,
+    /// Local indices collected for the next superstep (phase A survivors +
+    /// phase B reactivations), sorted at the end of delivery.
+    next_run: Vec<u32>,
     pv: Option<PerVertexLocal>,
 }
 
@@ -203,6 +340,8 @@ struct Scratch {
     inbox_capacity: u64,
     next_active: usize,
     ran: usize,
+    chunks: u64,
+    chunks_stolen: u64,
 }
 
 /// Master-phase decisions shared back to all workers.
@@ -210,28 +349,6 @@ struct Control {
     stop: bool,
     reason: HaltReason,
     reactivate: bool,
-}
-
-/// Everything shared between worker threads.
-struct Shared<'a, P: VertexProgram> {
-    program: &'a P,
-    graph: &'a Graph,
-    cfg: &'a PregelConfig,
-    num_workers: usize,
-    partitioner: Partitioner,
-    agg_defs: Vec<AggregatorDef>,
-    barrier: Barrier,
-    /// `outboxes[sender][receiver]`: messages produced in the compute phase,
-    /// drained by the receiver in the delivery phase. Between uses each slot
-    /// parks an empty, capacity-carrying buffer for the sender's next flush
-    /// (see [`crate::pool`]).
-    outboxes: Vec<Vec<Mutex<OutboxSlot<P::Message>>>>,
-    scratch: Vec<Mutex<Scratch>>,
-    agg_partials: Vec<Mutex<Vec<AggValue>>>,
-    agg_merged: Mutex<Vec<AggValue>>,
-    globals: Mutex<Vec<AggValue>>,
-    control: Mutex<Control>,
-    superstep_log: Mutex<Vec<SuperstepStats>>,
 }
 
 /// Runs `program` on `graph` with explicit initial vertex values.
@@ -253,6 +370,7 @@ where
     let n = graph.num_vertices();
     assert_eq!(values.len(), n, "one initial value per vertex required");
     let w = config.num_workers.max(1);
+    let t = config.resolved_threads();
     let partitioner = Partitioner::new(config.partitioning, n, w);
     let started = Instant::now();
 
@@ -266,6 +384,8 @@ where
             values: Vec::new(),
             active: Vec::new(),
             inbox: Vec::new(),
+            run_list: Vec::new(),
+            next_run: Vec::new(),
             pv: None,
         })
         .collect();
@@ -278,45 +398,36 @@ where
         let k = st.ids.len();
         st.active = vec![true; k];
         st.inbox = (0..k).map(|_| Vec::new()).collect();
+        st.run_list = (0..k as u32).collect();
+        st.next_run = Vec::with_capacity(k);
         if config.track_per_vertex {
             st.pv = Some(PerVertexLocal::new(k));
         }
     }
 
-    let shared = Shared::<P> {
-        program,
-        graph,
-        cfg: config,
-        num_workers: w,
-        partitioner,
-        agg_defs,
-        barrier: Barrier::new(w),
-        outboxes: (0..w)
-            .map(|_| (0..w).map(|_| Mutex::new(OutboxSlot::default())).collect())
-            .collect(),
-        scratch: (0..w).map(|_| Mutex::new(Scratch::default())).collect(),
-        agg_partials: (0..w).map(|_| Mutex::new(identities.clone())).collect(),
-        agg_merged: Mutex::new(identities.clone()),
-        globals: Mutex::new(program.globals()),
-        control: Mutex::new(Control {
-            stop: false,
-            reason: HaltReason::Converged,
-            reactivate: false,
-        }),
-        superstep_log: Mutex::new(Vec::new()),
-    };
-
-    if w == 1 {
-        worker_loop(0, &mut states[0], &shared, &identities);
+    let (states, reason, log) = if t == 1 {
+        let (reason, log) = run_serial(
+            program,
+            graph,
+            config,
+            partitioner,
+            &agg_defs,
+            &identities,
+            &mut states,
+        );
+        (states, reason, log)
     } else {
-        std::thread::scope(|scope| {
-            for (me, st) in states.iter_mut().enumerate() {
-                let shared = &shared;
-                let identities = &identities;
-                scope.spawn(move || worker_loop(me, st, shared, identities));
-            }
-        });
-    }
+        run_threaded(
+            program,
+            graph,
+            config,
+            t,
+            partitioner,
+            &agg_defs,
+            &identities,
+            states,
+        )
+    };
 
     // Reassemble results by vertex id.
     let mut out_values: Vec<Option<P::Value>> = (0..n).map(|_| None).collect();
@@ -343,303 +454,1152 @@ where
         .map(|v| v.expect("every vertex assigned to exactly one worker"))
         .collect();
 
-    let control = shared.control.into_inner().unwrap();
     let stats = RunStats {
-        superstep_stats: shared.superstep_log.into_inner().unwrap(),
+        superstep_stats: log,
         num_workers: w,
-        halt_reason: control.reason,
+        halt_reason: reason,
         per_vertex,
         wall: started.elapsed(),
     };
     (final_values, stats)
 }
 
-/// The per-worker superstep loop. All workers execute this function in
-/// lockstep; worker 0 additionally runs the serial master phase.
-fn worker_loop<P>(
-    me: usize,
+/// Decides whether this superstep is the run's last, given the master
+/// hook's outcome; shared by both drivers so the halt policy cannot drift.
+fn stop_decision(
+    halt: bool,
+    reactivate: bool,
+    active_next: usize,
+    superstep: u64,
+    max_supersteps: u64,
+) -> (bool, HaltReason) {
+    if halt {
+        (true, HaltReason::MasterHalted)
+    } else if active_next == 0 && !reactivate {
+        (true, HaltReason::Converged)
+    } else if superstep + 1 >= max_supersteps {
+        (true, HaltReason::MaxSupersteps)
+    } else {
+        (false, HaltReason::Converged)
+    }
+}
+
+/// Runs the compute phase for every vertex on `st.run_list`: invokes the
+/// program, pushes messages into `out`, pushes still-active local indices
+/// into `st.next_run`. Returns `(work, sent, inbox_capacity)`.
+#[allow(clippy::too_many_arguments)]
+fn compute_worker<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    seed: u64,
+    partitioner: Partitioner,
+    superstep: u64,
     st: &mut WorkerState<P::Value, P::Message>,
-    sh: &Shared<'_, P>,
+    out: &mut Outgoing<P::Message>,
+    agg_prev: &[AggValue],
+    globals: &[AggValue],
+    agg_defs: &[AggregatorDef],
+    agg_partial: &mut [AggValue],
+) -> (u64, u64, u64) {
+    let run_list = std::mem::take(&mut st.run_list);
+    let mut work_total = 0u64;
+    let mut sent_total = 0u64;
+    let mut inbox_capacity = 0u64;
+    for &li32 in &run_list {
+        let li = li32 as usize;
+        // One unit for the invocation plus one per message processed.
+        let mut vwork = 1 + st.inbox[li].len() as u64;
+        let mut vsent = 0u64;
+        let mut halted = false;
+        {
+            let mut ctx = Context::<P> {
+                id: st.ids[li],
+                superstep,
+                graph,
+                value: &mut st.values[li],
+                halted: &mut halted,
+                out,
+                partitioner,
+                agg_prev,
+                agg_partial,
+                agg_defs,
+                globals,
+                work: &mut vwork,
+                sent: &mut vsent,
+                seed,
+            };
+            program.compute(&mut ctx, &st.inbox[li]);
+        }
+        // Clear instead of dropping: the inbox keeps its capacity for
+        // the next delivery phase. Vecs of zero-sized messages report
+        // usize::MAX capacity; count those as zero instead.
+        if std::mem::size_of::<P::Message>() > 0 {
+            inbox_capacity += st.inbox[li].capacity() as u64;
+        }
+        st.inbox[li].clear();
+        st.active[li] = !halted;
+        if !halted {
+            st.next_run.push(li32);
+        }
+        work_total += vwork;
+        sent_total += vsent;
+        if let Some(pv) = st.pv.as_mut() {
+            pv.max_sent[li] = pv.max_sent[li].max(vsent);
+            pv.max_work[li] = pv.max_work[li].max(vwork);
+            pv.max_state_bytes[li] =
+                pv.max_state_bytes[li].max(st.values[li].state_bytes() as u64);
+        }
+    }
+    st.run_list = run_list;
+    (work_total, sent_total, inbox_capacity)
+}
+
+/// Drains one sender-ordered lane of `(dest, msg)` pairs addressed to `st`
+/// into its per-vertex inboxes, applying the receiver-side combining
+/// backstop, counting per-vertex receipts when tracking, and scheduling
+/// reactivated vertices onto `st.next_run`. Returns the delivered count.
+fn deliver_lane<V, M>(
+    st: &mut WorkerState<V, M>,
+    partitioner: Partitioner,
+    combiner: Option<Combiner<M>>,
+    buf: &mut Vec<(VertexId, M)>,
+) -> u64 {
+    let mut delivered = 0u64;
+    // One pass per lane, combiner branch hoisted out of the loop.
+    match combiner {
+        Some(combine) => {
+            for (to, msg) in buf.drain(..) {
+                let li = partitioner.local_index(to);
+                if let Some(pv) = st.pv.as_mut() {
+                    pv.recv_cur[li] += 1;
+                }
+                let inbox = &mut st.inbox[li];
+                if inbox.is_empty() {
+                    inbox.push(msg);
+                    delivered += 1;
+                    // First message: schedule a halted vertex.
+                    if !st.active[li] {
+                        st.next_run.push(li as u32);
+                    }
+                } else {
+                    combine(&mut inbox[0], msg);
+                }
+            }
+        }
+        None => {
+            for (to, msg) in buf.drain(..) {
+                let li = partitioner.local_index(to);
+                if let Some(pv) = st.pv.as_mut() {
+                    pv.recv_cur[li] += 1;
+                }
+                let inbox = &mut st.inbox[li];
+                inbox.push(msg);
+                delivered += 1;
+                if inbox.len() == 1 && !st.active[li] {
+                    st.next_run.push(li as u32);
+                }
+            }
+        }
+    }
+    delivered
+}
+
+// ---------------------------------------------------------------------------
+// Serial driver (T == 1)
+// ---------------------------------------------------------------------------
+
+/// Runs all `W` workers multiplexed on the calling thread. No barriers, no
+/// outbox matrix, no per-phase synchronization of any kind: workers compute
+/// in ascending order into one shared outgoing buffer set, whose per-
+/// receiver lanes then already hold the sender-ordered stream that the
+/// threaded delivery phase reconstructs from outbox slots. Delivery drains
+/// each lane in place, so the only recurring buffers are the `W` lanes and
+/// the per-vertex inboxes — both recycled, so steady-state supersteps stay
+/// allocation-free.
+fn run_serial<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    cfg: &PregelConfig,
+    partitioner: Partitioner,
+    agg_defs: &[AggregatorDef],
     identities: &[AggValue],
-) where
-    P: VertexProgram,
-{
-    let w = sh.num_workers;
-    let combiner = sh.program.combiner();
+    states: &mut [WorkerState<P::Value, P::Message>],
+) -> (HaltReason, Vec<SuperstepStats>) {
+    let w = states.len();
+    let combiner = program.combiner();
     // Sender-side combining folds per-message receive counts away, so it is
     // disabled in per-vertex tracking mode; the receiver-side backstop then
     // does all the combining, exactly as before the sender stage existed.
+    let sender_combiner = if cfg.track_per_vertex { None } else { combiner };
+    let mut out: Outgoing<P::Message> = Outgoing::new(w, graph.num_vertices(), sender_combiner);
+    let mut counters = BufferCounters::default();
+    // First use of a lane is the allocation event; afterwards the in-place
+    // drain recycles its capacity every superstep.
+    let mut lane_seen = vec![false; w];
+    let mut agg_merged = identities.to_vec();
+    let mut globals = program.globals();
+    let mut log: Vec<SuperstepStats> = Vec::new();
+    let mut superstep: u64 = 0;
+    loop {
+        // ---- Phase A: compute (workers in ascending order) --------------
+        let agg_prev = agg_merged.clone();
+        let mut worker_stats = vec![WorkerStats::default(); w];
+        let mut agg_partials: Vec<Vec<AggValue>> = Vec::with_capacity(w);
+        let mut ran_total = 0usize;
+        let mut sent_total = 0u64;
+        let mut inbox_capacity = 0u64;
+        for (me, st) in states.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            let mut agg_partial = identities.to_vec();
+            ran_total += st.run_list.len();
+            let (work, sent, caps) = compute_worker(
+                program,
+                graph,
+                cfg.seed,
+                partitioner,
+                superstep,
+                st,
+                &mut out,
+                &agg_prev,
+                &globals,
+                agg_defs,
+                &mut agg_partial,
+            );
+            sent_total += sent;
+            inbox_capacity += caps;
+            worker_stats[me] = WorkerStats {
+                work,
+                sent,
+                wall: t0.elapsed(),
+                ..Default::default()
+            };
+            agg_partials.push(agg_partial);
+        }
+        let combined_sender = out.combined;
+
+        // ---- Phase B: delivery ------------------------------------------
+        let mut delivered_total = 0u64;
+        let mut active_next_total = 0usize;
+        for (me, st) in states.iter_mut().enumerate() {
+            let lane = &mut out.lanes[me];
+            let folded = std::mem::take(&mut lane.folded);
+            if !lane.buf.is_empty() {
+                counters.note(if lane_seen[me] { lane.buf.capacity() } else { 0 });
+                lane_seen[me] = true;
+            }
+            // `r_i` keeps its algorithm-level meaning: sends folded in the
+            // shared buffers still count as received here.
+            worker_stats[me].received = lane.buf.len() as u64 + folded;
+            if let Some(pv) = st.pv.as_mut() {
+                pv.recv_cur.iter_mut().for_each(|c| *c = 0);
+            }
+            delivered_total += deliver_lane(st, partitioner, combiner, &mut lane.buf);
+            if let Some(pv) = st.pv.as_mut() {
+                for li in 0..pv.recv_cur.len() {
+                    pv.max_received[li] = pv.max_received[li].max(pv.recv_cur[li]);
+                }
+            }
+            // The run list is exactly the set that a full scan would count:
+            // phase A pushed the still-active vertices, delivery pushed the
+            // halted ones that just received mail — disjoint by the
+            // `active` check, so no vertex appears twice.
+            st.next_run.sort_unstable();
+            active_next_total += st.next_run.len();
+        }
+        out.begin_superstep();
+
+        // ---- Phase C: master --------------------------------------------
+        let mut merged = identities.to_vec();
+        for partial in agg_partials {
+            for (idx, v) in partial.into_iter().enumerate() {
+                agg_defs[idx].op.fold(&mut merged[idx], v);
+            }
+        }
+        let taken = counters.take();
+        log.push(SuperstepStats {
+            workers: worker_stats,
+            active: ran_total,
+            messages_sent: sent_total,
+            messages_delivered: delivered_total,
+            messages_combined_sender: combined_sender,
+            buffers: BufferStats {
+                allocated: taken.allocated,
+                recycled: taken.recycled,
+                inbox_capacity,
+            },
+            aggregates: merged.clone(),
+            ..Default::default()
+        });
+        let mut mc = MasterContext {
+            superstep,
+            num_vertices: graph.num_vertices(),
+            active: active_next_total,
+            aggregates: &merged,
+            globals: &mut globals,
+            halt: false,
+            reactivate_all: false,
+        };
+        program.master_compute(&mut mc);
+        let (halt, reactivate) = (mc.halt, mc.reactivate_all);
+        agg_merged = merged;
+        let (stop, reason) = stop_decision(
+            halt,
+            reactivate,
+            active_next_total,
+            superstep,
+            cfg.max_supersteps,
+        );
+        for st in states.iter_mut() {
+            if reactivate {
+                st.active.iter_mut().for_each(|a| *a = true);
+                st.run_list.clear();
+                st.run_list.extend(0..st.ids.len() as u32);
+            } else {
+                std::mem::swap(&mut st.run_list, &mut st.next_run);
+            }
+            st.next_run.clear();
+        }
+        if stop {
+            return (reason, log);
+        }
+        superstep += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded driver (T > 1)
+// ---------------------------------------------------------------------------
+
+/// An `UnsafeCell` that is `Sync`. Exclusive access is enforced by the
+/// engine's phase protocol — barriers and atomic claim counters — not by
+/// the type system; every dereference site documents which protocol rule
+/// makes it data-race free.
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: the phase protocol (documented at each `get()` dereference)
+// guarantees that at most one thread holds a mutable reference at a time,
+// with barrier-ordered handoffs between phases.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    fn new(v: T) -> Self {
+        SyncCell(UnsafeCell::new(v))
+    }
+    fn get(&self) -> *mut T {
+        self.0.get()
+    }
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// Raw element pointers into one worker's state arrays, published by the
+/// worker's home thread so chunk executors (possibly on other threads) can
+/// write provably disjoint vertices without materializing aliasing `&mut`
+/// references to whole arrays. The array pointers stay valid for the whole
+/// run — those Vecs never reallocate after construction; `run`/`run_len`
+/// are republished each superstep because the worklists ping-pong.
+struct StateView<V, M> {
+    ids: *const VertexId,
+    values: *mut V,
+    active: *mut bool,
+    inbox: *mut Vec<M>,
+    run: *const u32,
+    run_len: usize,
+}
+
+// SAFETY: the pointers target heap buffers owned by `WorkerState<V, M>`,
+// whose element types are `Send`; the view is only a capability to reach
+// them, gated by the same phase protocol as `SyncCell`.
+unsafe impl<V: Send, M: Send> Send for StateView<V, M> {}
+
+/// One chunk's buffered outputs: its own lane set (so `Context::send` works
+/// unchanged), the survivors, the aggregator partial, and the counters.
+/// Pooled and recycled across supersteps.
+struct ChunkBuf<M> {
+    chunk: usize,
+    ran: usize,
+    out: Outgoing<M>,
+    next: Vec<u32>,
+    agg: Vec<AggValue>,
+    work: u64,
+    sent: u64,
+    inbox_capacity: u64,
+    wall: Duration,
+    stolen: bool,
+    /// Newly constructed this acquisition (an allocation event) rather than
+    /// recycled from the pool.
+    fresh: bool,
+}
+
+/// Everything shared between the threads of one run.
+struct ParShared<'a, P: VertexProgram> {
+    program: &'a P,
+    graph: &'a Graph,
+    cfg: &'a PregelConfig,
+    w: usize,
+    /// Resolved steal chunk size; 0 = stealing disabled (direct mode).
+    steal_chunk: usize,
+    partitioner: Partitioner,
+    agg_defs: &'a [AggregatorDef],
+    identities: &'a [AggValue],
+    workers: Vec<ParWorker<P::Value, P::Message>>,
+    /// worker -> home thread.
+    home: Vec<usize>,
+    /// thread -> contiguous owned worker range.
+    blocks: Vec<std::ops::Range<usize>>,
+    /// `outboxes[sender][receiver]`: written by the thread that completes
+    /// the sender's compute, read by the receiver's home thread after the
+    /// compute barrier. The barrier's release/acquire edge replaces the
+    /// per-slot mutex the engine used to take `W^2` times per superstep.
+    outboxes: Vec<Vec<SyncCell<OutboxSlot<P::Message>>>>,
+    /// Free list of chunk buffers, shared so the pool stabilizes regardless
+    /// of which thread executes which chunk.
+    chunk_pool: Mutex<Vec<ChunkBuf<P::Message>>>,
+    barrier: PhaseBarrier,
+    agg_merged: Mutex<Vec<AggValue>>,
+    globals: Mutex<Vec<AggValue>>,
+    control: Mutex<Control>,
+    superstep_log: Mutex<Vec<SuperstepStats>>,
+    /// Per-thread barrier-wait accumulators, drained by the master phase.
+    thread_waits: Vec<Mutex<u64>>,
+}
+
+/// Per-worker shared harness for the threaded driver.
+struct ParWorker<V, M> {
+    state: SyncCell<WorkerState<V, M>>,
+    view: SyncCell<StateView<V, M>>,
+    /// The worker's master outgoing buffers (lanes + combining tables).
+    out: SyncCell<Outgoing<M>>,
+    /// Number of worklist chunks this superstep.
+    chunks: AtomicUsize,
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Chunks claimed but not yet completed; the thread that decrements it
+    /// to zero merges and flushes.
+    outstanding: AtomicUsize,
+    /// Completed chunk outputs awaiting the ordered merge.
+    done: Mutex<Vec<ChunkBuf<M>>>,
+    scratch: Mutex<Scratch>,
+    agg_partial: Mutex<Vec<AggValue>>,
+}
+
+/// Spawns `t` threads over contiguous worker blocks and runs the superstep
+/// loop to completion. Returns the states (for reassembly), the halt
+/// reason, and the superstep log.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn run_threaded<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    cfg: &PregelConfig,
+    t: usize,
+    partitioner: Partitioner,
+    agg_defs: &[AggregatorDef],
+    identities: &[AggValue],
+    states: Vec<WorkerState<P::Value, P::Message>>,
+) -> (
+    Vec<WorkerState<P::Value, P::Message>>,
+    HaltReason,
+    Vec<SuperstepStats>,
+) {
+    let w = states.len();
+    let combiner = program.combiner();
+    let sender_combiner = if cfg.track_per_vertex { None } else { combiner };
+    // Per-vertex tracking already implies exact per-message accounting and
+    // is a measurement mode, not a throughput mode; keep it on the simple
+    // direct path.
+    let steal_chunk = if cfg.track_per_vertex {
+        0
+    } else {
+        cfg.steal_chunk
+    };
+    let workers: Vec<ParWorker<P::Value, P::Message>> = states
+        .into_iter()
+        .map(|mut st| {
+            let view = StateView {
+                ids: st.ids.as_ptr(),
+                values: st.values.as_mut_ptr(),
+                active: st.active.as_mut_ptr(),
+                inbox: st.inbox.as_mut_ptr(),
+                run: st.run_list.as_ptr(),
+                run_len: st.run_list.len(),
+            };
+            let chunks = if steal_chunk == 0 {
+                0
+            } else {
+                st.run_list.len().div_ceil(steal_chunk)
+            };
+            ParWorker {
+                // Moving `st` into the cell moves the Vec headers, not
+                // their heap buffers, so the view's pointers stay valid.
+                state: SyncCell::new(st),
+                view: SyncCell::new(view),
+                out: SyncCell::new(Outgoing::new(w, graph.num_vertices(), sender_combiner)),
+                chunks: AtomicUsize::new(chunks),
+                cursor: AtomicUsize::new(0),
+                outstanding: AtomicUsize::new(chunks),
+                done: Mutex::new(Vec::new()),
+                scratch: Mutex::new(Scratch::default()),
+                agg_partial: Mutex::new(identities.to_vec()),
+            }
+        })
+        .collect();
+    let blocks: Vec<std::ops::Range<usize>> =
+        (0..t).map(|i| (i * w / t)..((i + 1) * w / t)).collect();
+    let mut home = vec![0usize; w];
+    for (ti, r) in blocks.iter().enumerate() {
+        for wi in r.clone() {
+            home[wi] = ti;
+        }
+    }
+    let sh = ParShared::<P> {
+        program,
+        graph,
+        cfg,
+        w,
+        steal_chunk,
+        partitioner,
+        agg_defs,
+        identities,
+        workers,
+        home,
+        blocks,
+        outboxes: (0..w)
+            .map(|_| (0..w).map(|_| SyncCell::new(OutboxSlot::default())).collect())
+            .collect(),
+        chunk_pool: Mutex::new(Vec::new()),
+        // Spinning at the barrier only helps when every thread can own a
+        // core; otherwise it burns the timeslice the straggler needs.
+        barrier: PhaseBarrier::new(t, t <= machine_parallelism()),
+        agg_merged: Mutex::new(identities.to_vec()),
+        globals: Mutex::new(program.globals()),
+        control: Mutex::new(Control {
+            stop: false,
+            reason: HaltReason::Converged,
+            reactivate: false,
+        }),
+        superstep_log: Mutex::new(Vec::new()),
+        thread_waits: (0..t).map(|_| Mutex::new(0)).collect(),
+    };
+
+    // Prefill the chunk-buffer pool with superstep 0's chunk count. Every
+    // vertex is active in superstep 0, so no later superstep can schedule
+    // more chunks than this; with the pool full up front, chunk acquisition
+    // never allocates, deterministically — the steady-state invariant can't
+    // depend on how the scheduler interleaved earlier merges and releases.
+    if steal_chunk > 0 {
+        let total: usize = sh
+            .workers
+            .iter()
+            .map(|pw| pw.chunks.load(Ordering::Relaxed))
+            .sum();
+        let mut pool = sh.chunk_pool.lock().unwrap();
+        for _ in 0..total {
+            pool.push(ChunkBuf {
+                chunk: 0,
+                ran: 0,
+                out: Outgoing::new_hashed(w, sender_combiner),
+                next: Vec::new(),
+                agg: identities.to_vec(),
+                work: 0,
+                sent: 0,
+                inbox_capacity: 0,
+                wall: Duration::ZERO,
+                stolen: false,
+                // Startup infrastructure, like the outgoing lanes: not a
+                // per-superstep allocation event.
+                fresh: false,
+            });
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for t_id in 0..t {
+            let sh = &sh;
+            scope.spawn(move || par_thread(t_id, sh));
+        }
+    });
+
+    let control = sh.control.into_inner().unwrap();
+    let log = sh.superstep_log.into_inner().unwrap();
+    let states = sh
+        .workers
+        .into_iter()
+        .map(|pw| pw.state.into_inner())
+        .collect();
+    (states, control.reason, log)
+}
+
+/// The per-thread superstep loop: compute (direct or stealing), compute
+/// barrier, delivery + next-superstep setup for owned workers, delivery
+/// barrier with the master phase in the leader closure.
+fn par_thread<P: VertexProgram>(t_id: usize, sh: &ParShared<'_, P>) {
+    let my = sh.blocks[t_id].clone();
+    let combiner = sh.program.combiner();
     let sender_combiner = if sh.cfg.track_per_vertex {
         None
     } else {
         combiner
     };
-    // Message-path buffers live for the whole run: outgoing lanes (inside
-    // `out`), the delivery scratch, and per-vertex inboxes are recycled
-    // across supersteps, so steady-state supersteps allocate nothing.
-    let mut out: Outgoing<P::Message> =
-        Outgoing::new(w, sh.graph.num_vertices(), sender_combiner);
     let mut delivery_scratch: Vec<(VertexId, P::Message)> = Vec::new();
-    let mut counters = BufferCounters::default();
-    // Worklist scheduling: each superstep runs only the vertices that are
-    // active or received a message, instead of scanning every owned vertex.
-    // `run_list` is rebuilt each superstep from phase A (non-halting
-    // vertices) and phase B (vertices whose inbox went nonempty) and sorted,
-    // so compute order — and therefore send/delivery order — stays the
-    // documented ascending-id order regardless of arrival order.
-    let k = st.ids.len();
-    let mut run_list: Vec<u32> = (0..k as u32).collect();
-    let mut next_run: Vec<u32> = Vec::with_capacity(k);
     let mut superstep: u64 = 0;
+    let mut wait_ns: u64 = 0;
     loop {
         // ---- Phase A: compute -------------------------------------------
         let agg_prev = sh.agg_merged.lock().unwrap().clone();
         let globals_snapshot = sh.globals.lock().unwrap().clone();
-        let t0 = Instant::now();
-        let mut work_total = 0u64;
-        let mut sent_total = 0u64;
-        let mut inbox_capacity = 0u64;
-        let ran = run_list.len();
-        let mut agg_partial = identities.to_vec();
-        for &li32 in &run_list {
-            let li = li32 as usize;
-            // One unit for the invocation plus one per message processed.
-            let mut vwork = 1 + st.inbox[li].len() as u64;
-            let mut vsent = 0u64;
-            let mut halted = false;
-            {
-                let mut ctx = Context::<P> {
-                    id: st.ids[li],
-                    superstep,
-                    graph: sh.graph,
-                    value: &mut st.values[li],
-                    halted: &mut halted,
-                    out: &mut out,
-                    partitioner: sh.partitioner,
-                    agg_prev: &agg_prev,
-                    agg_partial: &mut agg_partial,
-                    agg_defs: &sh.agg_defs,
-                    globals: &globals_snapshot,
-                    work: &mut vwork,
-                    sent: &mut vsent,
-                    seed: sh.cfg.seed,
-                };
-                sh.program.compute(&mut ctx, &st.inbox[li]);
+        if sh.steal_chunk > 0 {
+            // Own workers first (cache affinity), then one sweep over the
+            // others for leftover chunks. After the sweep every cursor is
+            // exhausted, so nothing claimable remains.
+            for wi in my.clone() {
+                drain_chunks(t_id, wi, sh, superstep, &agg_prev, &globals_snapshot, sender_combiner);
             }
-            // Clear instead of dropping: the inbox keeps its capacity for
-            // the next delivery phase. Vecs of zero-sized messages report
-            // usize::MAX capacity; count those as zero instead.
-            if std::mem::size_of::<P::Message>() > 0 {
-                inbox_capacity += st.inbox[li].capacity() as u64;
-            }
-            st.inbox[li].clear();
-            st.active[li] = !halted;
-            if !halted {
-                next_run.push(li32);
-            }
-            work_total += vwork;
-            sent_total += vsent;
-            if let Some(pv) = st.pv.as_mut() {
-                pv.max_sent[li] = pv.max_sent[li].max(vsent);
-                pv.max_work[li] = pv.max_work[li].max(vwork);
-                pv.max_state_bytes[li] =
-                    pv.max_state_bytes[li].max(st.values[li].state_bytes() as u64);
-            }
-        }
-        let wall = t0.elapsed();
-        let combined_sender = out.combined;
-        for dw in 0..w {
-            let lane = &mut out.lanes[dw];
-            if lane.buf.is_empty() {
-                debug_assert_eq!(lane.folded, 0, "folds without buffered messages");
-                continue;
-            }
-            let mut slot = sh.outboxes[me][dw].lock().unwrap();
-            debug_assert!(slot.msgs.is_empty(), "outbox not drained");
-            std::mem::swap(&mut slot.msgs, &mut lane.buf);
-            slot.folded = std::mem::take(&mut lane.folded);
-            // The lane now holds whatever empty buffer the receiver parked
-            // in the slot last superstep (fresh only at startup).
-            counters.note(lane.buf.capacity());
-        }
-        out.begin_superstep();
-        {
-            let mut sc = sh.scratch[me].lock().unwrap();
-            sc.stats = WorkerStats {
-                work: work_total,
-                sent: sent_total,
-                received: 0,
-                wall,
-            };
-            sc.delivered = 0;
-            sc.combined_sender = combined_sender;
-            sc.buffers = counters.take();
-            sc.inbox_capacity = inbox_capacity;
-            sc.next_active = 0;
-            sc.ran = ran;
-        }
-        *sh.agg_partials[me].lock().unwrap() = agg_partial;
-        sh.barrier.wait();
-
-        // ---- Phase B: delivery ------------------------------------------
-        if let Some(pv) = st.pv.as_mut() {
-            pv.recv_cur.iter_mut().for_each(|c| *c = 0);
-        }
-        let mut received = 0u64;
-        let mut delivered = 0u64;
-        for sender in 0..w {
-            // Swap the lane out (and an empty, capacity-carrying buffer in,
-            // for the sender's next flush) instead of taking and dropping.
-            let folded;
-            {
-                let mut slot = sh.outboxes[sender][me].lock().unwrap();
-                std::mem::swap(&mut slot.msgs, &mut delivery_scratch);
-                folded = std::mem::take(&mut slot.folded);
-            }
-            // `r_i` keeps its algorithm-level meaning: sends folded at the
-            // sender still count as received here.
-            received += delivery_scratch.len() as u64 + folded;
-            // One pass per lane, combiner branch hoisted out of the loop.
-            match combiner {
-                Some(combine) => {
-                    for (to, msg) in delivery_scratch.drain(..) {
-                        let li = sh.partitioner.local_index(to);
-                        if let Some(pv) = st.pv.as_mut() {
-                            pv.recv_cur[li] += 1;
-                        }
-                        let inbox = &mut st.inbox[li];
-                        if inbox.is_empty() {
-                            inbox.push(msg);
-                            delivered += 1;
-                            // First message: schedule a halted vertex.
-                            if !st.active[li] {
-                                next_run.push(li as u32);
-                            }
-                        } else {
-                            combine(&mut inbox[0], msg);
-                        }
-                    }
+            for off in 0..sh.w {
+                let wi = (my.end + off) % sh.w;
+                if my.contains(&wi) {
+                    continue;
                 }
-                None => {
-                    for (to, msg) in delivery_scratch.drain(..) {
-                        let li = sh.partitioner.local_index(to);
-                        if let Some(pv) = st.pv.as_mut() {
-                            pv.recv_cur[li] += 1;
-                        }
-                        let inbox = &mut st.inbox[li];
-                        inbox.push(msg);
-                        delivered += 1;
-                        if inbox.len() == 1 && !st.active[li] {
-                            next_run.push(li as u32);
-                        }
-                    }
-                }
+                drain_chunks(t_id, wi, sh, superstep, &agg_prev, &globals_snapshot, sender_combiner);
+            }
+        } else {
+            for wi in my.clone() {
+                compute_direct(wi, sh, superstep, &agg_prev, &globals_snapshot);
             }
         }
-        if let Some(pv) = st.pv.as_mut() {
-            for li in 0..pv.recv_cur.len() {
-                pv.max_received[li] = pv.max_received[li].max(pv.recv_cur[li]);
-            }
-        }
-        // The run list is exactly the set that the old full scan counted:
-        // phase A pushed the still-active vertices, the loop above pushed
-        // the halted ones that just received mail — disjoint by the
-        // `active` check, so no vertex appears twice.
-        next_run.sort_unstable();
-        let next_active = next_run.len();
-        {
-            let mut sc = sh.scratch[me].lock().unwrap();
-            sc.stats.received = received;
-            sc.delivered = delivered;
-            sc.next_active = next_active;
-        }
-        sh.barrier.wait();
+        wait_ns += sh.barrier.wait();
 
-        // ---- Phase C: master (worker 0 only) ----------------------------
-        if me == 0 {
-            let mut merged = identities.to_vec();
-            let mut workers = Vec::with_capacity(w);
-            let mut active_next_total = 0usize;
-            let mut ran_total = 0usize;
-            let mut sent = 0u64;
-            let mut delivered_total = 0u64;
-            let mut combined_total = 0u64;
-            let mut buffers = BufferStats::default();
-            for i in 0..w {
-                let partial = std::mem::replace(
-                    &mut *sh.agg_partials[i].lock().unwrap(),
-                    identities.to_vec(),
-                );
-                for (idx, v) in partial.into_iter().enumerate() {
-                    sh.agg_defs[idx].op.fold(&mut merged[idx], v);
-                }
-                let sc = sh.scratch[i].lock().unwrap();
-                workers.push(sc.stats);
-                active_next_total += sc.next_active;
-                ran_total += sc.ran;
-                sent += sc.stats.sent;
-                delivered_total += sc.delivered;
-                combined_total += sc.combined_sender;
-                buffers.allocated += sc.buffers.allocated;
-                buffers.recycled += sc.buffers.recycled;
-                buffers.inbox_capacity += sc.inbox_capacity;
-            }
-            sh.superstep_log.lock().unwrap().push(SuperstepStats {
-                workers,
-                active: ran_total,
-                messages_sent: sent,
-                messages_delivered: delivered_total,
-                messages_combined_sender: combined_total,
-                buffers,
-            });
-            let mut globals = sh.globals.lock().unwrap();
-            let mut mc = MasterContext {
-                superstep,
-                num_vertices: sh.graph.num_vertices(),
-                active: active_next_total,
-                aggregates: &merged,
-                globals: &mut globals,
-                halt: false,
-                reactivate_all: false,
-            };
-            sh.program.master_compute(&mut mc);
-            let (halt, reactivate) = (mc.halt, mc.reactivate_all);
-            drop(globals);
-            let mut ctl = sh.control.lock().unwrap();
-            ctl.reactivate = reactivate;
-            if halt {
-                ctl.stop = true;
-                ctl.reason = HaltReason::MasterHalted;
-            } else if active_next_total == 0 && !reactivate {
-                ctl.stop = true;
-                ctl.reason = HaltReason::Converged;
-            } else if superstep + 1 >= sh.cfg.max_supersteps {
-                ctl.stop = true;
-                ctl.reason = HaltReason::MaxSupersteps;
-            } else {
-                ctl.stop = false;
-            }
-            *sh.agg_merged.lock().unwrap() = merged;
+        // ---- Phase B: delivery + next-superstep setup (owned workers) ---
+        for wi in my.clone() {
+            deliver_worker(wi, sh, combiner, &mut delivery_scratch);
         }
-        sh.barrier.wait();
+        // Publish this thread's barrier waits before the master (inside the
+        // next barrier) drains them; the wait at that barrier itself is
+        // only known afterwards and lands in the next superstep's entry.
+        *sh.thread_waits[t_id].lock().unwrap() += wait_ns;
+        wait_ns = 0;
 
+        // ---- Phase C: master, inside the delivery barrier ---------------
+        let (_, b2_wait) = sh.barrier.wait_leader(|| master_phase(sh, superstep));
+        wait_ns += b2_wait;
         let (stop, reactivate) = {
             let ctl = sh.control.lock().unwrap();
             (ctl.stop, ctl.reactivate)
         };
         if reactivate {
-            st.active.iter_mut().for_each(|a| *a = true);
-            run_list.clear();
-            run_list.extend(0..k as u32);
-        } else {
-            std::mem::swap(&mut run_list, &mut next_run);
+            for wi in my.clone() {
+                // SAFETY: between the master barrier and the reactivation
+                // barrier below, only the home thread (us) touches its
+                // workers' state.
+                let st = unsafe { &mut *sh.workers[wi].state.get() };
+                st.active.iter_mut().for_each(|a| *a = true);
+                st.run_list.clear();
+                st.run_list.extend(0..st.ids.len() as u32);
+                publish_schedule(&sh.workers[wi], sh.steal_chunk);
+            }
+            // Extra barrier only on reactivation supersteps: the rebuilt
+            // worklists must be republished before anyone computes.
+            wait_ns += sh.barrier.wait();
         }
-        next_run.clear();
         if stop {
             break;
         }
         superstep += 1;
     }
+}
+
+/// Republishes a worker's worklist view and resets its chunk schedule.
+/// Called only while the home thread has exclusive access (startup is
+/// handled in the constructor; afterwards: end of delivery, or the
+/// reactivation window), so the next compute phase — on the far side of a
+/// barrier — sees a consistent schedule.
+fn publish_schedule<V, M>(pw: &ParWorker<V, M>, steal_chunk: usize) {
+    let run_len;
+    // SAFETY: exclusive home-thread access per the contract above; readers
+    // are released by a later barrier.
+    unsafe {
+        let st = &mut *pw.state.get();
+        let view = &mut *pw.view.get();
+        view.run = st.run_list.as_ptr();
+        view.run_len = st.run_list.len();
+        run_len = view.run_len;
+    }
+    let chunks = if steal_chunk == 0 {
+        0
+    } else {
+        run_len.div_ceil(steal_chunk)
+    };
+    pw.cursor.store(0, Ordering::Relaxed);
+    pw.outstanding.store(chunks, Ordering::Relaxed);
+    pw.chunks.store(chunks, Ordering::Release);
+}
+
+/// Direct (non-stealing) compute for one worker, on whatever thread owns
+/// it this phase: the exact sequential semantics of `compute_worker`, plus
+/// the flush into the outbox row.
+fn compute_direct<P: VertexProgram>(
+    wi: usize,
+    sh: &ParShared<'_, P>,
+    superstep: u64,
+    agg_prev: &[AggValue],
+    globals: &[AggValue],
+) {
+    let pw = &sh.workers[wi];
+    // SAFETY: compute phase with stealing disabled — only the home thread
+    // (us) touches this worker's state and outgoing buffers; receivers read
+    // the outbox row only after the compute barrier.
+    let st = unsafe { &mut *pw.state.get() };
+    let out = unsafe { &mut *pw.out.get() };
+    let t0 = Instant::now();
+    let ran = st.run_list.len();
+    let mut agg_partial = sh.identities.to_vec();
+    let (work, sent, inbox_capacity) = compute_worker(
+        sh.program,
+        sh.graph,
+        sh.cfg.seed,
+        sh.partitioner,
+        superstep,
+        st,
+        out,
+        agg_prev,
+        globals,
+        sh.agg_defs,
+        &mut agg_partial,
+    );
+    let wall = t0.elapsed();
+    let combined = out.combined;
+    let buffers = flush_out(wi, sh, out);
+    {
+        let mut sc = pw.scratch.lock().unwrap();
+        sc.stats = WorkerStats {
+            work,
+            sent,
+            received: 0,
+            wall,
+            stolen_chunks: 0,
+        };
+        sc.delivered = 0;
+        sc.combined_sender = combined;
+        sc.buffers = buffers;
+        sc.inbox_capacity = inbox_capacity;
+        sc.next_active = 0;
+        sc.ran = ran;
+        sc.chunks = 0;
+        sc.chunks_stolen = 0;
+    }
+    *pw.agg_partial.lock().unwrap() = agg_partial;
+}
+
+/// Ships `out`'s nonempty lanes into worker `wi`'s outbox row and resets
+/// the combining tables for the next superstep. Returns this flush's
+/// buffer-recycling events.
+fn flush_out<P: VertexProgram>(
+    wi: usize,
+    sh: &ParShared<'_, P>,
+    out: &mut Outgoing<P::Message>,
+) -> BufferCounters {
+    let mut counters = BufferCounters::default();
+    for (dw, lane) in out.lanes.iter_mut().enumerate() {
+        if lane.buf.is_empty() {
+            debug_assert_eq!(lane.folded, 0, "folds without buffered messages");
+            continue;
+        }
+        // SAFETY: compute phase — row `wi` is written only by the single
+        // thread that completed `wi`'s compute (us); receivers read their
+        // column only after the compute barrier.
+        let slot = unsafe { &mut *sh.outboxes[wi][dw].get() };
+        debug_assert!(slot.msgs.is_empty(), "outbox not drained");
+        std::mem::swap(&mut slot.msgs, &mut lane.buf);
+        slot.folded = std::mem::take(&mut lane.folded);
+        // The lane now holds whatever empty buffer the receiver parked in
+        // the slot last superstep (fresh only at startup).
+        counters.note(lane.buf.capacity());
+    }
+    out.begin_superstep();
+    counters
+}
+
+/// Claims and executes chunks of worker `wi` until its cursor runs out;
+/// whoever completes the last outstanding chunk merges and flushes.
+#[allow(clippy::too_many_arguments)]
+fn drain_chunks<P: VertexProgram>(
+    t_id: usize,
+    wi: usize,
+    sh: &ParShared<'_, P>,
+    superstep: u64,
+    agg_prev: &[AggValue],
+    globals: &[AggValue],
+    sender_combiner: Option<Combiner<P::Message>>,
+) {
+    let pw = &sh.workers[wi];
+    let chunks = pw.chunks.load(Ordering::Acquire);
+    if chunks == 0 {
+        return;
+    }
+    loop {
+        let c = pw.cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks {
+            return;
+        }
+        let stolen = sh.home[wi] != t_id;
+        let buf = exec_chunk(c, wi, sh, superstep, agg_prev, globals, sender_combiner, stolen);
+        pw.done.lock().unwrap().push(buf);
+        // AcqRel: the completer that observes zero must see every other
+        // completer's chunk output (and their vertex writes).
+        if pw.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            merge_worker(wi, sh);
+        }
+    }
+}
+
+/// Executes one chunk of worker `wi`'s worklist into a private
+/// [`ChunkBuf`]. Runs on whichever thread claimed the chunk.
+#[allow(clippy::too_many_arguments)]
+fn exec_chunk<P: VertexProgram>(
+    c: usize,
+    wi: usize,
+    sh: &ParShared<'_, P>,
+    superstep: u64,
+    agg_prev: &[AggValue],
+    globals: &[AggValue],
+    sender_combiner: Option<Combiner<P::Message>>,
+    stolen: bool,
+) -> ChunkBuf<P::Message> {
+    let pw = &sh.workers[wi];
+    // SAFETY (shared read): views are written only outside the compute
+    // phase; the barriers order those writes before this read, and nothing
+    // writes them while chunks execute.
+    let view = unsafe { &*(pw.view.get() as *const StateView<P::Value, P::Message>) };
+    let lo = c * sh.steal_chunk;
+    let hi = (lo + sh.steal_chunk).min(view.run_len);
+    let mut buf = acquire_chunk_buf(sh, sender_combiner);
+    buf.chunk = c;
+    buf.stolen = stolen;
+    buf.ran = hi - lo;
+    let t0 = Instant::now();
+    let mut work_total = 0u64;
+    let mut sent_total = 0u64;
+    let mut inbox_capacity = 0u64;
+    for i in lo..hi {
+        // SAFETY: `run` holds unique sorted local indices and the chunk
+        // ranges partition it, so each `li` below is visited by exactly one
+        // chunk executor this phase; the references formed from the element
+        // pointers are therefore unaliased. The arrays themselves never
+        // reallocate during a run.
+        let li = unsafe { *view.run.add(i) } as usize;
+        let id = unsafe { *view.ids.add(li) };
+        let inbox: &mut Vec<P::Message> = unsafe { &mut *view.inbox.add(li) };
+        let value: &mut P::Value = unsafe { &mut *view.values.add(li) };
+        let mut vwork = 1 + inbox.len() as u64;
+        let mut vsent = 0u64;
+        let mut halted = false;
+        {
+            let mut ctx = Context::<P> {
+                id,
+                superstep,
+                graph: sh.graph,
+                value,
+                halted: &mut halted,
+                out: &mut buf.out,
+                partitioner: sh.partitioner,
+                agg_prev,
+                agg_partial: &mut buf.agg,
+                agg_defs: sh.agg_defs,
+                globals,
+                work: &mut vwork,
+                sent: &mut vsent,
+                seed: sh.cfg.seed,
+            };
+            sh.program.compute(&mut ctx, inbox);
+        }
+        if std::mem::size_of::<P::Message>() > 0 {
+            inbox_capacity += inbox.capacity() as u64;
+        }
+        inbox.clear();
+        // SAFETY: disjoint element, as above.
+        unsafe { *view.active.add(li) = !halted };
+        if !halted {
+            buf.next.push(li as u32);
+        }
+        work_total += vwork;
+        sent_total += vsent;
+    }
+    buf.work = work_total;
+    buf.sent = sent_total;
+    buf.inbox_capacity = inbox_capacity;
+    buf.wall = t0.elapsed();
+    buf
+}
+
+/// Pops a recycled chunk buffer from the shared pool, or builds a fresh
+/// one (counted as an allocation event by the merge).
+fn acquire_chunk_buf<P: VertexProgram>(
+    sh: &ParShared<'_, P>,
+    sender_combiner: Option<Combiner<P::Message>>,
+) -> ChunkBuf<P::Message> {
+    if let Some(mut b) = sh.chunk_pool.lock().unwrap().pop() {
+        b.fresh = false;
+        b.agg.copy_from_slice(sh.identities);
+        b
+    } else {
+        ChunkBuf {
+            chunk: 0,
+            ran: 0,
+            // No direct-mapped combining index here: one slot per graph
+            // vertex *per chunk buffer* would dwarf the messages. The
+            // per-lane open-addressing tables size with actual traffic.
+            out: Outgoing::new_hashed(sh.w, sender_combiner),
+            next: Vec::new(),
+            agg: sh.identities.to_vec(),
+            work: 0,
+            sent: 0,
+            inbox_capacity: 0,
+            wall: Duration::ZERO,
+            stolen: false,
+            fresh: true,
+        }
+    }
+}
+
+/// Returns a drained chunk buffer to the pool.
+fn release_chunk_buf<P: VertexProgram>(sh: &ParShared<'_, P>, mut b: ChunkBuf<P::Message>) {
+    b.next.clear();
+    b.out.begin_superstep();
+    sh.chunk_pool.lock().unwrap().push(b);
+}
+
+/// Merges worker `wi`'s completed chunks — in chunk order — into its master
+/// buffers and flushes them. Runs on the single thread that completed the
+/// worker's last outstanding chunk.
+fn merge_worker<P: VertexProgram>(wi: usize, sh: &ParShared<'_, P>) {
+    let pw = &sh.workers[wi];
+    let mut done = std::mem::take(&mut *pw.done.lock().unwrap());
+    done.sort_unstable_by_key(|b| b.chunk);
+    // SAFETY: every chunk executor for `wi` has finished (`outstanding`
+    // reached zero with AcqRel ordering) and exactly one thread — us — runs
+    // the merge; nothing else touches the master buffers or `next_run`
+    // until the delivery phase, on the far side of the compute barrier.
+    let out = unsafe { &mut *pw.out.get() };
+    let next_run: &mut Vec<u32> = unsafe { &mut *std::ptr::addr_of_mut!((*pw.state.get()).next_run) };
+    let mut work = 0u64;
+    let mut sent = 0u64;
+    let mut inbox_capacity = 0u64;
+    let mut ran = 0usize;
+    let mut wall = Duration::ZERO;
+    let mut stolen = 0u64;
+    let mut combined = 0u64;
+    let mut counters = BufferCounters::default();
+    let chunks_total = done.len() as u64;
+    let mut agg = sh.identities.to_vec();
+    for mut b in done {
+        // Replay the chunk's sends through the master buffers in chunk
+        // order: the exact push sequence single-threaded execution would
+        // have produced, so lane order and combining folds — and everything
+        // downstream — are schedule-independent.
+        for (dw, clane) in b.out.lanes.iter_mut().enumerate() {
+            // Chunk-internal folds still count toward the receiver's
+            // algorithm-level `r_i`, exactly like sender-side folds.
+            out.lanes[dw].folded += std::mem::take(&mut clane.folded);
+            for (to, msg) in clane.buf.drain(..) {
+                out.push(dw, to, msg);
+            }
+        }
+        combined += std::mem::take(&mut b.out.combined);
+        next_run.extend_from_slice(&b.next);
+        for (idx, v) in b.agg.iter().enumerate() {
+            sh.agg_defs[idx].op.fold(&mut agg[idx], *v);
+        }
+        work += b.work;
+        sent += b.sent;
+        inbox_capacity += b.inbox_capacity;
+        ran += b.ran;
+        wall += b.wall;
+        if b.stolen {
+            stolen += 1;
+        }
+        if b.fresh {
+            counters.allocated += 1;
+        } else {
+            counters.recycled += 1;
+        }
+        release_chunk_buf(sh, b);
+    }
+    // Replay folds landed in `out.combined`; add the chunk-internal ones.
+    let combined = combined + out.combined;
+    let flush = flush_out(wi, sh, out);
+    counters.allocated += flush.allocated;
+    counters.recycled += flush.recycled;
+    {
+        let mut sc = pw.scratch.lock().unwrap();
+        sc.stats = WorkerStats {
+            work,
+            sent,
+            received: 0,
+            wall,
+            stolen_chunks: stolen,
+        };
+        sc.delivered = 0;
+        sc.combined_sender = combined;
+        sc.buffers = counters;
+        sc.inbox_capacity = inbox_capacity;
+        sc.next_active = 0;
+        sc.ran = ran;
+        sc.chunks = chunks_total;
+        sc.chunks_stolen = stolen;
+    }
+    *pw.agg_partial.lock().unwrap() = agg;
+}
+
+/// Delivery phase for one worker, on its home thread: drain the outbox
+/// column in sender order, finalize the next worklist, republish the chunk
+/// schedule.
+fn deliver_worker<P: VertexProgram>(
+    wi: usize,
+    sh: &ParShared<'_, P>,
+    combiner: Option<Combiner<P::Message>>,
+    scratch: &mut Vec<(VertexId, P::Message)>,
+) {
+    let pw = &sh.workers[wi];
+    // A worker with an empty worklist had no merge this superstep, so its
+    // compute-side scratch is stale; zero it before recording delivery.
+    let no_compute = sh.steal_chunk > 0 && pw.chunks.load(Ordering::Relaxed) == 0;
+    // SAFETY: delivery phase — after the compute barrier every outbox slot
+    // addressed to `wi` is fully written, every chunk executor is done, and
+    // only `wi`'s home thread (us) touches its state until the next compute
+    // phase begins at a later barrier.
+    let st = unsafe { &mut *pw.state.get() };
+    if let Some(pv) = st.pv.as_mut() {
+        pv.recv_cur.iter_mut().for_each(|c| *c = 0);
+    }
+    let mut received = 0u64;
+    let mut delivered = 0u64;
+    for sender in 0..sh.w {
+        // Swap the lane out (and an empty, capacity-carrying buffer in,
+        // for the sender's next flush) instead of taking and dropping.
+        // SAFETY: column `wi` is read only by us this phase; the sender's
+        // write happened before the compute barrier.
+        let slot = unsafe { &mut *sh.outboxes[sender][wi].get() };
+        std::mem::swap(&mut slot.msgs, scratch);
+        let folded = std::mem::take(&mut slot.folded);
+        // `r_i` keeps its algorithm-level meaning: sends folded at the
+        // sender still count as received here.
+        received += scratch.len() as u64 + folded;
+        delivered += deliver_lane(st, sh.partitioner, combiner, scratch);
+    }
+    if let Some(pv) = st.pv.as_mut() {
+        for li in 0..pv.recv_cur.len() {
+            pv.max_received[li] = pv.max_received[li].max(pv.recv_cur[li]);
+        }
+    }
+    // The next worklist is exactly the set a full scan would count: the
+    // compute phase contributed the still-active vertices, delivery the
+    // halted ones that just received mail — disjoint by the `active` check.
+    st.next_run.sort_unstable();
+    let next_active = st.next_run.len();
+    std::mem::swap(&mut st.run_list, &mut st.next_run);
+    st.next_run.clear();
+    {
+        let mut sc = pw.scratch.lock().unwrap();
+        if no_compute {
+            sc.stats = WorkerStats::default();
+            sc.combined_sender = 0;
+            sc.buffers = BufferCounters::default();
+            sc.inbox_capacity = 0;
+            sc.ran = 0;
+            sc.chunks = 0;
+            sc.chunks_stolen = 0;
+        }
+        sc.stats.received = received;
+        sc.delivered = delivered;
+        sc.next_active = next_active;
+    }
+    publish_schedule(pw, sh.steal_chunk);
+}
+
+/// The serial master phase, run by the last thread to arrive at the
+/// delivery barrier (inside its leader closure, before anyone is
+/// released): merge aggregators and statistics in worker order, run the
+/// master hook, decide whether to stop.
+fn master_phase<P: VertexProgram>(sh: &ParShared<'_, P>, superstep: u64) {
+    let mut merged = sh.identities.to_vec();
+    let mut workers = Vec::with_capacity(sh.w);
+    let mut active_next_total = 0usize;
+    let mut ran_total = 0usize;
+    let mut sent = 0u64;
+    let mut delivered_total = 0u64;
+    let mut combined_total = 0u64;
+    let mut chunks_total = 0u64;
+    let mut chunks_stolen = 0u64;
+    let mut buffers = BufferStats::default();
+    for pw in &sh.workers {
+        let partial = std::mem::replace(
+            &mut *pw.agg_partial.lock().unwrap(),
+            sh.identities.to_vec(),
+        );
+        for (idx, v) in partial.into_iter().enumerate() {
+            sh.agg_defs[idx].op.fold(&mut merged[idx], v);
+        }
+        let sc = pw.scratch.lock().unwrap();
+        workers.push(sc.stats);
+        active_next_total += sc.next_active;
+        ran_total += sc.ran;
+        sent += sc.stats.sent;
+        delivered_total += sc.delivered;
+        combined_total += sc.combined_sender;
+        chunks_total += sc.chunks;
+        chunks_stolen += sc.chunks_stolen;
+        buffers.allocated += sc.buffers.allocated;
+        buffers.recycled += sc.buffers.recycled;
+        buffers.inbox_capacity += sc.inbox_capacity;
+    }
+    let mut wait_total = 0u64;
+    let mut wait_max = 0u64;
+    for tw in &sh.thread_waits {
+        let v = std::mem::take(&mut *tw.lock().unwrap());
+        wait_total += v;
+        wait_max = wait_max.max(v);
+    }
+    sh.superstep_log.lock().unwrap().push(SuperstepStats {
+        workers,
+        active: ran_total,
+        messages_sent: sent,
+        messages_delivered: delivered_total,
+        messages_combined_sender: combined_total,
+        buffers,
+        aggregates: merged.clone(),
+        barrier_wait_ns: wait_total,
+        barrier_wait_max_ns: wait_max,
+        chunks: chunks_total,
+        chunks_stolen,
+    });
+    let mut globals = sh.globals.lock().unwrap();
+    let mut mc = MasterContext {
+        superstep,
+        num_vertices: sh.graph.num_vertices(),
+        active: active_next_total,
+        aggregates: &merged,
+        globals: &mut globals,
+        halt: false,
+        reactivate_all: false,
+    };
+    sh.program.master_compute(&mut mc);
+    let (halt, reactivate) = (mc.halt, mc.reactivate_all);
+    drop(globals);
+    let (stop, reason) = stop_decision(
+        halt,
+        reactivate,
+        active_next_total,
+        superstep,
+        sh.cfg.max_supersteps,
+    );
+    {
+        let mut ctl = sh.control.lock().unwrap();
+        ctl.stop = stop;
+        ctl.reason = reason;
+        ctl.reactivate = reactivate;
+    }
+    *sh.agg_merged.lock().unwrap() = merged;
 }
 
 #[cfg(test)]
@@ -697,20 +1657,60 @@ mod tests {
     }
 
     #[test]
-    fn results_identical_across_worker_counts() {
+    fn results_identical_across_worker_and_thread_counts() {
         let g = generators::gnm_connected(101, 300, 9);
         let base = run(&Flood { rounds: 3 }, &g, &PregelConfig::single_worker());
-        for workers in [2, 3, 5, 8] {
-            let cfg = PregelConfig::default().with_workers(workers);
-            let other = run(&Flood { rounds: 3 }, &g, &cfg);
-            assert_eq!(base.0, other.0, "values differ at W={workers}");
-            assert_eq!(
-                base.1.total_messages(),
-                other.1.total_messages(),
-                "message totals differ at W={workers}"
-            );
-            assert_eq!(base.1.supersteps(), other.1.supersteps());
+        for workers in [2usize, 3, 5, 8] {
+            // threads = 1 takes the serial multiplexed driver; 2 and 3 the
+            // threaded one (with a tiny steal chunk so worklists actually
+            // split); stats and values must not move.
+            for threads in [1usize, 2, 3] {
+                let cfg = PregelConfig::default()
+                    .with_workers(workers)
+                    .with_threads(threads)
+                    .with_steal_chunk(2);
+                let other = run(&Flood { rounds: 3 }, &g, &cfg);
+                assert_eq!(base.0, other.0, "values differ at W={workers} T={threads}");
+                assert_eq!(
+                    base.1.total_messages(),
+                    other.1.total_messages(),
+                    "message totals differ at W={workers} T={threads}"
+                );
+                assert_eq!(base.1.supersteps(), other.1.supersteps());
+                for (a, b) in base
+                    .1
+                    .superstep_stats
+                    .iter()
+                    .zip(&other.1.superstep_stats)
+                {
+                    assert_eq!(
+                        a.messages_delivered, b.messages_delivered,
+                        "delivered differ at W={workers} T={threads}"
+                    );
+                    assert_eq!(a.active, b.active, "active differ at W={workers} T={threads}");
+                }
+            }
         }
+    }
+
+    #[test]
+    fn stealing_disabled_matches_stealing_enabled() {
+        let g = generators::gnm_connected(101, 300, 9);
+        let on = PregelConfig::default()
+            .with_workers(4)
+            .with_threads(2)
+            .with_steal_chunk(3);
+        let off = PregelConfig::default()
+            .with_workers(4)
+            .with_threads(2)
+            .with_steal_chunk(0);
+        let a = run(&Flood { rounds: 3 }, &g, &on);
+        let b = run(&Flood { rounds: 3 }, &g, &off);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.total_messages(), b.1.total_messages());
+        // Chunk accounting exists only on the stealing path.
+        assert!(a.1.superstep_stats[0].chunks > 0);
+        assert_eq!(b.1.superstep_stats[0].chunks, 0);
     }
 
     /// Min-propagation with a combiner: messages to the same vertex collapse.
@@ -754,10 +1754,12 @@ mod tests {
     }
 
     #[test]
-    fn sender_combining_depends_on_worker_count() {
+    fn sender_combining_depends_on_worker_count_when_threaded() {
         let g = generators::complete(6);
         for (workers, expect_combined) in [(1usize, 24u64), (2, 18)] {
-            let cfg = PregelConfig::default().with_workers(workers);
+            let cfg = PregelConfig::default()
+                .with_workers(workers)
+                .with_threads(workers);
             let (values, stats) = run(&MinProp, &g, &cfg);
             assert!(values.iter().all(|&v| v == 0), "W={workers}");
             let s0 = &stats.superstep_stats[0];
@@ -765,28 +1767,48 @@ mod tests {
             assert_eq!(s0.messages_sent, 30, "W={workers}");
             assert_eq!(s0.messages_delivered, 6, "W={workers}");
             // ...while the sender-side fold count is a transport observable:
-            // with W=2 each destination receives one shipped message per
-            // sender worker (3 senders each fold 5->... per side), so only
-            // 30 - 6*2 = 18 sends fold at the sender.
+            // with two *threads* each sender worker buffers separately, so a
+            // destination receives one shipped message per sender worker and
+            // only 30 - 6*2 = 18 sends fold at the sender.
             assert_eq!(s0.messages_combined_sender, expect_combined, "W={workers}");
         }
     }
 
     #[test]
-    fn per_vertex_tracking_disables_sender_combining() {
+    fn serial_driver_shares_one_combining_table() {
+        // On one thread all workers buffer through one shared table, so the
+        // fold count matches W=1 regardless of the logical worker count —
+        // the transport observable tracks threads, not workers.
         let g = generators::complete(6);
-        let cfg = PregelConfig::single_worker().with_per_vertex_tracking();
+        let cfg = PregelConfig::default().with_workers(2).with_threads(1);
         let (values, stats) = run(&MinProp, &g, &cfg);
         assert!(values.iter().all(|&v| v == 0));
         let s0 = &stats.superstep_stats[0];
-        // The receiver backstop still combines down to one per inbox, but
-        // no send folds at the sender, so per-message receive counts stay
-        // exact for the BPPA observables.
         assert_eq!(s0.messages_sent, 30);
         assert_eq!(s0.messages_delivered, 6);
-        assert_eq!(s0.messages_combined_sender, 0);
-        let pv = stats.per_vertex.unwrap();
-        assert!(pv.max_received.iter().all(|&r| r == 5));
+        assert_eq!(s0.messages_combined_sender, 24);
+    }
+
+    #[test]
+    fn per_vertex_tracking_disables_sender_combining() {
+        let g = generators::complete(6);
+        for threads in [1usize, 2] {
+            let cfg = PregelConfig::default()
+                .with_workers(2)
+                .with_threads(threads)
+                .with_per_vertex_tracking();
+            let (values, stats) = run(&MinProp, &g, &cfg);
+            assert!(values.iter().all(|&v| v == 0), "T={threads}");
+            let s0 = &stats.superstep_stats[0];
+            // The receiver backstop still combines down to one per inbox, but
+            // no send folds at the sender, so per-message receive counts stay
+            // exact for the BPPA observables.
+            assert_eq!(s0.messages_sent, 30, "T={threads}");
+            assert_eq!(s0.messages_delivered, 6, "T={threads}");
+            assert_eq!(s0.messages_combined_sender, 0, "T={threads}");
+            let pv = stats.per_vertex.unwrap();
+            assert!(pv.max_received.iter().all(|&r| r == 5), "T={threads}");
+        }
     }
 
     #[test]
@@ -810,6 +1832,27 @@ mod tests {
                         "superstep {i} recycled nothing at W={workers}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_stealing_steady_state_allocation_free() {
+        // Same invariant on the threaded driver with aggressive chunking:
+        // lane handoff recycles through the outbox swap cycle and chunk
+        // buffers through the prefilled pool, so steady-state supersteps
+        // allocate nothing no matter how chunks were scheduled.
+        let g = generators::gnm_connected(64, 200, 7);
+        let cfg = PregelConfig::default()
+            .with_workers(3)
+            .with_threads(2)
+            .with_steal_chunk(4);
+        let (_, stats) = run(&Flood { rounds: 6 }, &g, &cfg);
+        assert!(stats.supersteps() >= 6);
+        for (i, s) in stats.superstep_stats.iter().enumerate().skip(2) {
+            assert_eq!(s.buffers.allocated, 0, "superstep {i} allocated");
+            if i < stats.superstep_stats.len() - 1 {
+                assert!(s.buffers.recycled > 0, "superstep {i} recycled nothing");
             }
         }
     }
@@ -866,6 +1909,44 @@ mod tests {
         );
     }
 
+    #[test]
+    fn threads_env_override_validates() {
+        // Valid values win over the fallback; 0 is valid and means "auto".
+        assert_eq!(PregelConfig::threads_from_env(Some("2"), 0), 2);
+        assert_eq!(PregelConfig::threads_from_env(Some("0"), 3), 0);
+        assert_eq!(PregelConfig::threads_from_env(Some(" 8 "), 0), 8);
+        // Unset, unparsable, or absurd values fall back.
+        assert_eq!(PregelConfig::threads_from_env(None, 0), 0);
+        assert_eq!(PregelConfig::threads_from_env(Some("auto"), 0), 0);
+        assert_eq!(PregelConfig::threads_from_env(Some("-1"), 0), 0);
+        assert_eq!(PregelConfig::threads_from_env(Some("4096"), 0), 0);
+    }
+
+    #[test]
+    fn steal_chunk_env_override_validates() {
+        // Valid values win; 0 is valid and disables stealing.
+        assert_eq!(PregelConfig::steal_chunk_from_env(Some("64"), 1024), 64);
+        assert_eq!(PregelConfig::steal_chunk_from_env(Some("0"), 1024), 0);
+        // Unset, unparsable, or absurd values fall back.
+        assert_eq!(PregelConfig::steal_chunk_from_env(None, 1024), 1024);
+        assert_eq!(PregelConfig::steal_chunk_from_env(Some("huge"), 1024), 1024);
+        assert_eq!(
+            PregelConfig::steal_chunk_from_env(Some("99999999999999999999"), 1024),
+            1024
+        );
+    }
+
+    #[test]
+    fn resolved_threads_caps_at_workers() {
+        let cfg = PregelConfig::default().with_workers(4).with_threads(9);
+        assert_eq!(cfg.resolved_threads(), 4);
+        let cfg = PregelConfig::default().with_workers(4).with_threads(2);
+        assert_eq!(cfg.resolved_threads(), 2);
+        // Auto never exceeds the worker count either.
+        let auto = PregelConfig::default().with_workers(1).with_threads(0);
+        assert_eq!(auto.resolved_threads(), 1);
+    }
+
     /// Aggregator test: sums vertex ids in superstep 0, master halts after
     /// verifying the total.
     struct SumIds;
@@ -888,10 +1969,19 @@ mod tests {
     #[test]
     fn aggregator_visible_next_superstep() {
         let g = generators::path(10);
-        for workers in [1, 4] {
-            let cfg = PregelConfig::default().with_workers(workers);
-            let (values, _) = run(&SumIds, &g, &cfg);
-            assert!(values.iter().all(|&v| v == 45), "W={workers}");
+        for (workers, threads) in [(1usize, 1usize), (4, 1), (4, 2)] {
+            let cfg = PregelConfig::default()
+                .with_workers(workers)
+                .with_threads(threads)
+                .with_steal_chunk(2);
+            let (values, stats) = run(&SumIds, &g, &cfg);
+            assert!(values.iter().all(|&v| v == 45), "W={workers} T={threads}");
+            // The merged trajectory is part of the superstep log.
+            assert_eq!(
+                stats.superstep_stats[0].aggregates,
+                vec![AggValue::I64(45)],
+                "W={workers} T={threads}"
+            );
         }
     }
 
@@ -921,10 +2011,15 @@ mod tests {
     #[test]
     fn master_phases_and_halt() {
         let g = generators::path(5);
-        let (values, stats) = run(&Phased, &g, &PregelConfig::default().with_workers(3));
-        assert_eq!(stats.halt_reason, HaltReason::MasterHalted);
-        assert_eq!(stats.supersteps(), 3);
-        assert!(values.iter().all(|&v| v == 2));
+        // threads = 2 exercises the reactivation barrier of the threaded
+        // driver; threads = 1 the serial rebuild.
+        for threads in [1usize, 2] {
+            let cfg = PregelConfig::default().with_workers(3).with_threads(threads);
+            let (values, stats) = run(&Phased, &g, &cfg);
+            assert_eq!(stats.halt_reason, HaltReason::MasterHalted, "T={threads}");
+            assert_eq!(stats.supersteps(), 3, "T={threads}");
+            assert!(values.iter().all(|&v| v == 2), "T={threads}");
+        }
     }
 
     /// Never halts: exercises the superstep cap.
@@ -974,7 +2069,10 @@ mod tests {
         let b = run(
             &RngProbe,
             &g,
-            &PregelConfig::default().with_workers(4).with_seed(5),
+            &PregelConfig::default()
+                .with_workers(4)
+                .with_threads(2)
+                .with_seed(5),
         )
         .0;
         let c = run(&RngProbe, &g, &PregelConfig::single_worker().with_seed(6)).0;
@@ -1000,9 +2098,30 @@ mod tests {
             }
         }
         let g = generators::path(4);
-        let (values, stats) = run(&LateSend, &g, &PregelConfig::default().with_workers(2));
-        assert_eq!(values[2], 99);
-        assert_eq!(stats.supersteps(), 2);
+        // threads = 2 also exercises the empty-worklist worker path: in
+        // superstep 1 only vertex 2's worker has anything to run.
+        for threads in [1usize, 2] {
+            let cfg = PregelConfig::default().with_workers(2).with_threads(threads);
+            let (values, stats) = run(&LateSend, &g, &cfg);
+            assert_eq!(values[2], 99, "T={threads}");
+            assert_eq!(stats.supersteps(), 2, "T={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_accounting_counts_worklist_chunks() {
+        let g = generators::path(10);
+        let cfg = PregelConfig::default()
+            .with_workers(2)
+            .with_threads(2)
+            .with_steal_chunk(1);
+        let (_, stats) = run(&Flood { rounds: 1 }, &g, &cfg);
+        let s0 = &stats.superstep_stats[0];
+        // Chunk size 1: one chunk per active vertex.
+        assert_eq!(s0.chunks, 10);
+        assert!(s0.chunks_stolen <= s0.chunks);
+        let stolen_sum: u64 = s0.workers.iter().map(|w| w.stolen_chunks).sum();
+        assert_eq!(stolen_sum, s0.chunks_stolen);
     }
 
     #[test]
@@ -1032,9 +2151,14 @@ mod tests {
     #[test]
     fn range_partitioning_matches_hash() {
         let g = generators::gnm_connected(123, 350, 4);
-        let hash_cfg = PregelConfig::default().with_workers(4);
+        let hash_cfg = PregelConfig::default()
+            .with_workers(4)
+            .with_threads(2)
+            .with_steal_chunk(3);
         let range_cfg = PregelConfig::default()
             .with_workers(4)
+            .with_threads(2)
+            .with_steal_chunk(3)
             .with_partitioning(crate::partition::Partitioning::Range);
         let a = run(&Flood { rounds: 3 }, &g, &hash_cfg);
         let b = run(&Flood { rounds: 3 }, &g, &range_cfg);
@@ -1061,8 +2185,11 @@ mod tests {
     #[test]
     fn empty_graph_runs() {
         let g = vcgp_graph::GraphBuilder::new(0).build();
-        let (values, stats) = run(&Noop, &g, &PregelConfig::default().with_workers(2));
-        assert!(values.is_empty());
-        assert_eq!(stats.supersteps(), 1);
+        for threads in [1usize, 2] {
+            let cfg = PregelConfig::default().with_workers(2).with_threads(threads);
+            let (values, stats) = run(&Noop, &g, &cfg);
+            assert!(values.is_empty(), "T={threads}");
+            assert_eq!(stats.supersteps(), 1, "T={threads}");
+        }
     }
 }

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod aggregate;
+pub(crate) mod barrier;
 pub mod engine;
 pub mod gas;
 pub mod metrics;

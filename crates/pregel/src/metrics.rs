@@ -1,5 +1,6 @@
 //! Run statistics: the raw observables of the BSP cost model.
 
+use crate::aggregate::AggValue;
 use std::time::Duration;
 
 /// Why a run terminated.
@@ -27,6 +28,10 @@ pub struct WorkerStats {
     pub received: u64,
     /// Wall-clock time of the compute phase on this worker.
     pub wall: Duration,
+    /// Worklist chunks of this worker executed by a thread other than its
+    /// home thread (zero unless the engine ran multi-threaded with work
+    /// stealing enabled).
+    pub stolen_chunks: u64,
 }
 
 /// Message-plane buffer accounting for one superstep, summed over workers.
@@ -79,6 +84,25 @@ pub struct SuperstepStats {
     pub messages_combined_sender: u64,
     /// Buffer recycling observables for this superstep.
     pub buffers: BufferStats,
+    /// The merged aggregator values produced by this superstep (in
+    /// declaration order) — the run's aggregator *trajectory*, recorded so
+    /// determinism tests can assert it superstep by superstep instead of
+    /// only observing final vertex values.
+    pub aggregates: Vec<AggValue>,
+    /// Nanoseconds threads spent waiting at superstep barriers, summed over
+    /// threads, as observed since the previous master phase (a thread's
+    /// wait at the delivery barrier is only known after the master phase
+    /// embedded in it runs, so it lands in the next superstep's entry).
+    /// Zero when the engine ran on one thread — no barriers exist there.
+    pub barrier_wait_ns: u64,
+    /// The largest single-thread share of [`barrier_wait_ns`](Self::barrier_wait_ns).
+    pub barrier_wait_max_ns: u64,
+    /// Worklist chunks executed this superstep (zero when the engine ran
+    /// without chunked work stealing — one thread, or stealing disabled).
+    pub chunks: u64,
+    /// How many of those chunks ran on a thread other than their worker's
+    /// home thread.
+    pub chunks_stolen: u64,
 }
 
 impl SuperstepStats {
@@ -223,12 +247,14 @@ mod tests {
                 sent: 3,
                 received: 9,
                 wall: Duration::ZERO,
+                ..Default::default()
             },
             WorkerStats {
                 work: 7,
                 sent: 8,
                 received: 2,
                 wall: Duration::ZERO,
+                ..Default::default()
             },
         ]);
         assert_eq!(s.max_work(), 10);
@@ -251,6 +277,7 @@ mod tests {
             sent: 1,
             received: 1,
             wall: Duration::ZERO,
+            ..Default::default()
         }]));
         a.per_vertex = Some(PerVertexStats {
             max_sent: vec![1, 2],
@@ -264,6 +291,7 @@ mod tests {
             sent: 2,
             received: 2,
             wall: Duration::ZERO,
+            ..Default::default()
         }]));
         b.per_vertex = Some(PerVertexStats {
             max_sent: vec![4, 1],
@@ -292,6 +320,7 @@ mod tests {
                     sent: i,
                     received: i,
                     wall: Duration::ZERO,
+                    ..Default::default()
                 }],
                 active: 1,
                 messages_sent: i,

@@ -85,9 +85,15 @@ fn usage() {
          --name NAME       report name: BENCH_stress_<name>.* (default run)\n  \
          --quiet           one-line summary instead of the full table\n\n\
          ENVIRONMENT:\n  \
-         VCGP_WORKERS      engine worker-thread count for analytics runs\n                    \
+         VCGP_WORKERS      engine logical worker count for analytics runs\n                    \
          (positive integer, capped at 1024; default: CPU count).\n                    \
          Answers are identical for any worker count.\n  \
+         VCGP_THREADS      OS threads driving those workers (0 = auto:\n                    \
+         min(workers, cores)). Answers are thread-count\n                    \
+         independent; only wall clock changes.\n  \
+         VCGP_STEAL_CHUNK  work-stealing chunk size in vertices (default\n                    \
+         1024; 0 disables stealing). Deterministic for any\n                    \
+         value.\n  \
          VCGP_PARTITIONING engine + shard placement strategy: hash | range\n                    \
          (default hash). Applies to both engine workers and\n                    \
          shard vertex ownership (--shards)."

@@ -506,6 +506,19 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` — {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
 }
 
 /// Inequality assertion for properties; see [`prop_assert!`].

@@ -53,6 +53,33 @@ VCGP_ENGINE_BENCH_PROFILE=smoke cargo bench -p vcgp-bench --bench engine --offli
 cargo bench -p vcgp-bench --bench engine --offline -- \
     --validate target/vcgp-bench/BENCH_engine.json
 
+echo "== multi-worker scaling gate (combiner workloads: W=4 mean must not"
+echo "   exceed W=1 mean beyond tolerance; catches negative-scaling regressions)"
+# On a single-core box parity is the physical ceiling, so the gate checks
+# W=4 <= W=1 * tolerance rather than demanding speedup. The regression
+# class this catches ran 1.3-1.6x slower; the default tolerance leaves
+# headroom for smoke-profile noise (3 samples on a loaded box) while
+# still tripping on a real regression. Override via VCGP_SCALE_TOLERANCE.
+tol="${VCGP_SCALE_TOLERANCE:-1.25}"
+mean_of() {
+    sed -n 's|.*"id": "'"$2"'", "mean_ns": \([0-9.]*\),.*|\1|p' "$1"
+}
+for wl in sssp_combine wcc_combine; do
+    m1=$(mean_of target/vcgp-bench/BENCH_engine.json "$wl/1")
+    m4=$(mean_of target/vcgp-bench/BENCH_engine.json "$wl/4")
+    if [ -z "$m1" ] || [ -z "$m4" ]; then
+        echo "error: scaling gate could not find $wl/1 or $wl/4 means" >&2
+        exit 1
+    fi
+    if ! awk -v m1="$m1" -v m4="$m4" -v tol="$tol" \
+        'BEGIN { exit !(m4 <= m1 * tol) }'; then
+        echo "error: $wl regressed at W=4: mean $m4 ns vs W=1 mean $m1 ns" >&2
+        echo "       (tolerance x$tol; override with VCGP_SCALE_TOLERANCE)" >&2
+        exit 1
+    fi
+    echo "   ok: $wl W=4 mean ${m4}ns <= W=1 mean ${m1}ns x $tol"
+done
+
 echo "== stress smoke (2 s paced load, gated on valid JSON and zero errors)"
 ./target/release/stress --gen gnm-connected:512:2048:7 --duration 2 --rate 500 \
     --seed 7 --mix points --name smoke --quiet

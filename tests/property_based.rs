@@ -5,7 +5,8 @@
 use vcgp::algorithms as vc;
 use vcgp::graph::{generators, io, Graph, GraphBuilder, INVALID_VERTEX};
 use vcgp::pregel::{
-    run_with_values, AggOp, AggValue, AggregatorDef, Context, PregelConfig, VertexProgram,
+    run_with_values, AggOp, AggValue, AggregatorDef, Context, Partitioning, PregelConfig,
+    VertexProgram,
 };
 use vcgp::sequential as seq;
 use vcgp_testkit::prop::{any_u64, Strategy};
@@ -180,34 +181,66 @@ vcgp_props! {
         prop_assert_eq!(r.post, sq.post);
     }
 
-    fn message_plane_determinism_across_workers(g in arb_connected(), workers in 2usize..6) {
+    fn message_plane_determinism_across_workers(g in arb_connected()) {
         // Final values (labels *and* echoed aggregator trajectories), message
-        // totals, and superstep counts must not depend on the worker count —
+        // totals, and superstep counts must not depend on the worker count,
+        // the partitioning strategy, the thread count, or work stealing —
         // with or without a combiner (i.e. with and without the sender-side
-        // combining stage engaged).
+        // combining stage engaged). The full matrix: W ∈ {1, 2, 3, 4, 8} ×
+        // {hash, range} × ±combiner, run on two threads with a tiny steal
+        // chunk so worklists genuinely split and migrate across threads.
         for use_combiner in [false, true] {
             let prog = MinLabel { use_combiner };
             let init: Vec<(u32, i64)> =
                 (0..g.num_vertices()).map(|v| (v as u32, 0)).collect();
             let (base_vals, base_stats) =
                 run_with_values(&prog, &g, init.clone(), &PregelConfig::single_worker());
-            let (vals, stats) = run_with_values(
-                &prog,
-                &g,
-                init,
-                &PregelConfig::default().with_workers(workers),
-            );
-            prop_assert_eq!(&base_vals, &vals);
-            prop_assert_eq!(base_stats.total_messages(), stats.total_messages());
-            prop_assert_eq!(base_stats.supersteps(), stats.supersteps());
-            // Delivered counts are post-combine but still worker-count
-            // independent, superstep by superstep.
-            for (a, b) in base_stats
-                .superstep_stats
-                .iter()
-                .zip(&stats.superstep_stats)
-            {
-                prop_assert_eq!(a.messages_delivered, b.messages_delivered);
+            for workers in [1usize, 2, 3, 4, 8] {
+                for partitioning in [Partitioning::Hash, Partitioning::Range] {
+                    let label = format!(
+                        "W={workers} {partitioning:?} combiner={use_combiner}"
+                    );
+                    let cfg = PregelConfig::default()
+                        .with_workers(workers)
+                        .with_partitioning(partitioning)
+                        .with_threads(2)
+                        .with_steal_chunk(2);
+                    let (vals, stats) = run_with_values(&prog, &g, init.clone(), &cfg);
+                    prop_assert_eq!(&base_vals, &vals, "values differ: {}", label);
+                    prop_assert_eq!(
+                        base_stats.total_messages(),
+                        stats.total_messages(),
+                        "message totals differ: {}",
+                        label
+                    );
+                    prop_assert_eq!(
+                        base_stats.supersteps(),
+                        stats.supersteps(),
+                        "superstep counts differ: {}",
+                        label
+                    );
+                    // Delivered counts are post-combine but still worker-count
+                    // independent, superstep by superstep — and the merged
+                    // aggregator trajectory must be bit-identical too.
+                    for (a, b) in base_stats
+                        .superstep_stats
+                        .iter()
+                        .zip(&stats.superstep_stats)
+                    {
+                        prop_assert_eq!(
+                            a.messages_delivered,
+                            b.messages_delivered,
+                            "delivered differ: {}",
+                            label
+                        );
+                        prop_assert_eq!(
+                            &a.aggregates,
+                            &b.aggregates,
+                            "aggregator trajectory differs: {}",
+                            label
+                        );
+                    }
+                }
             }
         }
     }
