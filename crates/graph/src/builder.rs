@@ -1,6 +1,7 @@
 //! Incremental construction of [`Graph`] values.
 
 use crate::graph::{Graph, VertexId};
+use crate::mutation::{ApplyStats, Mutation};
 
 /// Builds a [`Graph`] from an edge list.
 ///
@@ -89,6 +90,142 @@ impl GraphBuilder {
     /// Number of edges added so far.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// A builder pre-loaded with `g`'s edges, labels, and directedness, so
+    /// a mutation batch can be replayed through a from-scratch rebuild.
+    /// This is the *oracle* path for [`crate::mutation::apply_batch`]'s
+    /// incremental CSR splice (property-tested equal); the serving layer
+    /// uses the splice, tests use this.
+    pub fn from_graph(g: &Graph) -> GraphBuilder {
+        let mut b = Self::with_directedness(g.num_vertices(), g.is_directed());
+        b.edges = g.edges().collect();
+        b.labels = g.labels().map(|l| l.to_vec());
+        b
+    }
+
+    /// Applies a mutation batch to the builder's edge list, with semantics
+    /// identical to [`crate::mutation::apply_batch`] (see its module docs):
+    /// duplicate/self-loop/out-of-range inserts, deletes of missing edges,
+    /// and reweights on unweighted graphs are counted no-ops, matching the
+    /// `gnm_connected` generator guard.
+    pub fn apply(&mut self, batch: &[Mutation]) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        // Reweights only apply once the edge set is weighted — initially or
+        // via an explicit non-unit insert earlier in this batch.
+        let mut weighted_gate = self.edges.iter().any(|&(_, _, w)| w != 1.0);
+        for m in batch {
+            let applied = match *m {
+                Mutation::InsertEdge { u, v, w } => self.apply_insert(u, v, w, &mut weighted_gate),
+                Mutation::DeleteEdge { u, v } => self.apply_delete(u, v),
+                Mutation::DeleteEdgeAt { u, rank } => match self.resolve_rank(u, rank) {
+                    Some(t) => self.apply_delete(u, t),
+                    None => false,
+                },
+                Mutation::Reweight { u, v, w } => {
+                    weighted_gate && self.apply_reweight(u, v, w, &mut weighted_gate)
+                }
+                Mutation::ReweightAt { u, rank, w } => {
+                    weighted_gate
+                        && match self.resolve_rank(u, rank) {
+                            Some(t) => self.apply_reweight(u, t, w, &mut weighted_gate),
+                            None => false,
+                        }
+                }
+                Mutation::AddVertex { label } => {
+                    if self.n + 1 >= u32::MAX as usize {
+                        false
+                    } else {
+                        self.n += 1;
+                        if let Some(labels) = &mut self.labels {
+                            labels.push(label);
+                        }
+                        true
+                    }
+                }
+                Mutation::RemoveVertex { v } => {
+                    if (v as usize) >= self.n {
+                        false
+                    } else {
+                        let before = self.edges.len();
+                        self.edges.retain(|&(a, b, _)| a != v && b != v);
+                        self.edges.len() != before
+                    }
+                }
+            };
+            if applied {
+                stats.applied += 1;
+            } else {
+                stats.noops += 1;
+            }
+        }
+        stats
+    }
+
+    /// Whether the logical edge `{u, v}` (arc `u -> v` on digraphs) exists.
+    fn holds_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| (a, b) == (u, v) || (!self.directed && (a, b) == (v, u)))
+    }
+
+    /// The target at position `rank % out_degree(u)` of `u`'s sorted
+    /// current adjacency, or `None` when `u` is out of range or isolated.
+    fn resolve_rank(&self, u: VertexId, rank: u32) -> Option<VertexId> {
+        if (u as usize) >= self.n {
+            return None;
+        }
+        let mut adj: Vec<VertexId> = Vec::new();
+        for &(a, b, _) in &self.edges {
+            if a == u {
+                adj.push(b);
+            } else if !self.directed && b == u {
+                adj.push(a);
+            }
+        }
+        if adj.is_empty() {
+            return None;
+        }
+        adj.sort_unstable();
+        Some(adj[rank as usize % adj.len()])
+    }
+
+    fn apply_insert(&mut self, u: VertexId, v: VertexId, w: f64, gate: &mut bool) -> bool {
+        if u == v || (u as usize) >= self.n || (v as usize) >= self.n || self.holds_edge(u, v) {
+            return false;
+        }
+        self.edges.push((u, v, w));
+        if w != 1.0 {
+            *gate = true;
+        }
+        true
+    }
+
+    fn apply_delete(&mut self, u: VertexId, v: VertexId) -> bool {
+        if (u as usize) >= self.n || (v as usize) >= self.n {
+            return false;
+        }
+        let before = self.edges.len();
+        self.edges
+            .retain(|&(a, b, _)| !((a, b) == (u, v) || (!self.directed && (a, b) == (v, u))));
+        self.edges.len() != before
+    }
+
+    fn apply_reweight(&mut self, u: VertexId, v: VertexId, w: f64, gate: &mut bool) -> bool {
+        if (u as usize) >= self.n || (v as usize) >= self.n {
+            return false;
+        }
+        let mut any = false;
+        for e in self.edges.iter_mut() {
+            if (e.0, e.1) == (u, v) || (!self.directed && (e.0, e.1) == (v, u)) {
+                e.2 = w;
+                any = true;
+            }
+        }
+        if any && w != 1.0 {
+            *gate = true;
+        }
+        any
     }
 
     /// Finalizes the graph.
@@ -251,5 +388,79 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 2);
         assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn from_graph_roundtrips() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 2.0);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.set_labels(vec![5, 6, 7, 8]);
+        let g = b.build();
+        let again = GraphBuilder::from_graph(&g).build();
+        assert_eq!(again, g);
+
+        let mut d = GraphBuilder::directed(3);
+        d.add_edge(0, 1);
+        d.add_edge(1, 0);
+        d.add_edge(1, 2);
+        let dg = d.build();
+        assert_eq!(GraphBuilder::from_graph(&dg).build(), dg);
+    }
+
+    #[test]
+    fn apply_reapply_is_idempotent() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let base = b.build();
+        let batch = [
+            Mutation::InsertEdge { u: 2, v: 3, w: 1.0 },
+            Mutation::DeleteEdge { u: 0, v: 1 },
+        ];
+        let mut once = GraphBuilder::from_graph(&base);
+        let s1 = once.apply(&batch);
+        assert_eq!(s1, ApplyStats { applied: 2, noops: 0 });
+        let g_once = once.build();
+        // The same batch again: every mutation degenerates to a no-op and
+        // the built graph is unchanged.
+        let mut twice = GraphBuilder::from_graph(&g_once);
+        let s2 = twice.apply(&batch);
+        assert_eq!(s2, ApplyStats { applied: 0, noops: 2 });
+        assert_eq!(twice.build(), g_once);
+    }
+
+    #[test]
+    fn apply_delete_of_missing_is_noop() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let base = b.build();
+        let mut builder = GraphBuilder::from_graph(&base);
+        let stats = builder.apply(&[
+            Mutation::DeleteEdge { u: 1, v: 2 },
+            Mutation::DeleteEdge { u: 0, v: 9 },
+            Mutation::DeleteEdgeAt { u: 2, rank: 0 },
+        ]);
+        assert_eq!(stats, ApplyStats { applied: 0, noops: 3 });
+        assert_eq!(builder.build(), base);
+    }
+
+    #[test]
+    fn apply_insert_guards_match_generator_invariants() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let base = b.build();
+        let mut builder = GraphBuilder::from_graph(&base);
+        let stats = builder.apply(&[
+            Mutation::InsertEdge { u: 1, v: 1, w: 1.0 }, // self-loop
+            Mutation::InsertEdge { u: 1, v: 0, w: 1.0 }, // mirror duplicate
+            Mutation::InsertEdge { u: 0, v: 7, w: 1.0 }, // out of range
+            Mutation::InsertEdge { u: 1, v: 2, w: 1.0 }, // fine
+        ]);
+        assert_eq!(stats, ApplyStats { applied: 1, noops: 3 });
+        let g = builder.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 2));
     }
 }

@@ -13,10 +13,12 @@ pub mod builder;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod mutation;
 pub mod properties;
 pub mod rng;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, VertexId, INVALID_VERTEX};
+pub use mutation::{apply_batch, splice_slice, ApplyDelta, ApplyStats, Mutation};
 pub use rng::SplitMix64;

@@ -8,6 +8,8 @@
 //!        [--queue-policy block|reject]
 //!        [--cache-capacity N] [--cache-off] [--repeat N]
 //!        [--mix points|mixed|analytics|hotspot|scatter] [--seed N]
+//!        [--write-ratio R] [--mutation-seed N]
+//!        [--write-buffer N] [--max-batch N]
 //!        [--timeout-ms N] [--retries N] [--name NAME] [--quiet]
 //! stress --validate-report FILE
 //! ```
@@ -26,6 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use vcgp_graph::{generators, io, Graph};
 use vcgp_stress::driver::{self, DriverConfig};
+use vcgp_stress::epoch::MutationConfig;
 use vcgp_stress::json;
 use vcgp_stress::mix::Mix;
 use vcgp_stress::service::{GraphService, QueueFullPolicy, ServiceConfig};
@@ -80,6 +83,16 @@ fn usage() {
          --mix NAME        points | mixed | analytics | hotspot | scatter\n                    \
          (default points)\n  \
          --seed N          operation-stream seed (default 7)\n  \
+         --write-ratio R   fraction of stream indices issuing a mutation\n                    \
+         instead of a query (0.0..=1.0, default 0).\n                    \
+         Passing the flag (even 0) starts the epoch\n                    \
+         writer; 0 issues no writes, so the run stays\n                    \
+         bit-identical to a frozen (no-flag) run\n  \
+         --mutation-seed N seed of the write-decision + mutation stream\n                    \
+         (default 11; independent of --seed)\n  \
+         --write-buffer N  bounded write-buffer capacity (default 1024;\n                    \
+         accepts block when full)\n  \
+         --max-batch N     max mutations applied per epoch swap (default 64)\n  \
          --timeout-ms N    per-attempt timeout (default 5000)\n  \
          --retries N       max attempts per request (default 3)\n  \
          --name NAME       report name: BENCH_stress_<name>.* (default run)\n  \
@@ -171,6 +184,23 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         parse_flag(args, "--cache-capacity", ServiceConfig::default().cache_capacity)?
     };
+    let write_ratio: f64 = parse_flag(args, "--write-ratio", 0.0f64)?;
+    if !(0.0..=1.0).contains(&write_ratio) {
+        return Err("--write-ratio must be within 0.0..=1.0".to_string());
+    }
+    // Passing --write-ratio at all (even 0) starts the epoch writer, so a
+    // `--write-ratio 0` run exercises the full mutation machinery while
+    // issuing no writes — the CI gate that proves the write path is inert
+    // on the read stream. Omitting the flag keeps the service read-only.
+    let mutations = if flag_value(args, "--write-ratio").is_some() {
+        Some(MutationConfig {
+            write_buffer: parse_flag(args, "--write-buffer", MutationConfig::default().write_buffer)?,
+            max_batch: parse_flag(args, "--max-batch", MutationConfig::default().max_batch)?,
+            keep_history: false,
+        })
+    } else {
+        None
+    };
     let service_cfg = ServiceConfig {
         executors: parse_flag(args, "--executors", ServiceConfig::default().executors)?,
         queue_capacity: parse_flag(args, "--queue", 128usize)?,
@@ -181,6 +211,7 @@ fn run(args: &[String]) -> Result<(), String> {
         max_attempts: parse_flag(args, "--retries", 3u32)?,
         seed: parse_flag(args, "--seed", 7u64)?,
         cache_capacity,
+        mutations,
         ..ServiceConfig::default()
     };
     let driver_cfg = DriverConfig {
@@ -191,6 +222,8 @@ fn run(args: &[String]) -> Result<(), String> {
         burst: parse_flag(args, "--burst", 1u32)?,
         seed: parse_flag(args, "--seed", 7u64)?,
         timeout: Duration::from_millis(parse_flag(args, "--timeout-ms", 5000u64)?),
+        write_ratio,
+        mutation_seed: parse_flag(args, "--mutation-seed", 11u64)?,
     };
 
     if !quiet {
@@ -309,6 +342,50 @@ fn validate_report(path: &str) -> Result<String, String> {
             "{path}: cache.insertions ({insertions}) exceeds cache.misses ({misses})"
         ));
     }
+    // The freshness section: writer counters plus the four freshness
+    // histograms, with the count identities the epoch subsystem guarantees
+    // (every swap records exactly one pause and one lag sample; every
+    // mutation leaving the buffer is applied or a no-op; every accepted
+    // write records one accept latency).
+    let writes = num("writes")?;
+    let write_errors = num("write_errors")?;
+    let epochs = doc.get("epochs").ok_or_else(|| format!("{path}: missing \"epochs\""))?;
+    let epoch_num = |key: &str| -> Result<f64, String> {
+        epochs
+            .get(key)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric field epochs.{key:?}"))
+    };
+    for key in ["epoch", "accepted", "pending"] {
+        epoch_num(key)?;
+    }
+    let swaps = epoch_num("swaps")?;
+    let applied = epoch_num("applied")?;
+    let noops = epoch_num("noops")?;
+    let hist_count = |key: &str| -> Result<f64, String> {
+        let h = epochs.get(key).ok_or_else(|| format!("{path}: missing epochs.{key:?}"))?;
+        for q in ["count", "min", "mean", "p50", "p90", "p99", "p999", "max"] {
+            h.get(q)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{path}: missing epochs.{key}.{q}"))?;
+        }
+        h.get("count")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing epochs.{key}.count"))
+    };
+    for (key, expect, what) in [
+        ("swap_pause_ns", swaps, "swaps"),
+        ("freshness_lag_ns", swaps, "swaps"),
+        ("write_apply_ns", applied + noops, "applied + noops"),
+        ("write_accept_ns", writes - write_errors, "writes - write_errors"),
+    ] {
+        let count = hist_count(key)?;
+        if count != expect {
+            return Err(format!(
+                "{path}: epochs.{key}.count is {count} but {what} is {expect}"
+            ));
+        }
+    }
     // Per-shard occupancy: one entry per shard, each with identity and
     // counter fields.
     let per_shard = match doc.get("per_shard") {
@@ -341,9 +418,13 @@ fn validate_report(path: &str) -> Result<String, String> {
         }
     }
     // The top-level drop counters are defined as per-shard sums — hold the
-    // report to that.
-    for (total_key, shard_key) in [("rejects", "rejects"), ("early_drops", "early_drops")] {
-        let total = num(total_key)?;
+    // report to that. Same for cache hits: the cache section's hit count is
+    // the sum of each shard core's run-scoped delta.
+    for (total, total_key, shard_key) in [
+        (num("rejects")?, "rejects", "rejects"),
+        (num("early_drops")?, "early_drops", "early_drops"),
+        (cache_num("hits")?, "cache.hits", "cache_hits"),
+    ] {
         let summed: f64 = per_shard
             .iter()
             .filter_map(|e| e.get(shard_key).and_then(json::Value::as_f64))

@@ -30,11 +30,12 @@
 //! Invalidation: [`ResultCache::invalidate_all`] drops every entry while
 //! keeping the monotone counters. The serving layer calls it through
 //! [`crate::service::GraphService::invalidate_cache`] /
-//! [`crate::shard::ShardedGraphService::invalidate_cache`] — the hook any
-//! future graph swap or live re-shard must fire. (Re-sharding alone is
-//! already safe without it: the shard-slice fingerprint participates in
-//! every partial's key, so stale legs can never be confused for current
-//! ones — the hook just reclaims their memory.)
+//! [`crate::shard::ShardedGraphService::invalidate_cache`], and the epoch
+//! writer (see [`crate::epoch`]) now fires it after every snapshot swap.
+//! Correctness never depended on it: cache keys derive from the request's
+//! *pinned epoch* fingerprint (whole-graph and per-leg), so entries from
+//! an older epoch can never be confused for current ones — the hook
+//! reclaims their memory so dead fingerprints don't pin capacity.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};

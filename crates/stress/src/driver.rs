@@ -29,6 +29,7 @@
 //! answers* — not just matching counts — from the reports alone. This is
 //! the gate that proves cached answers equal freshly computed ones.
 
+use crate::epoch::{mutation_op, WriterReport};
 use crate::mix::Mix;
 use crate::rate::TokenBucket;
 use crate::request::{QueryError, QueryOutput, QueryRequest, Route};
@@ -47,6 +48,9 @@ const REQ_STREAM: u64 = 0x5245_5153; // "REQS"
 
 /// Domain separator for the answer-hash fold.
 const ANS_STREAM: u64 = 0x414E_5348; // "ANSH"
+
+/// Domain separator for the read-vs-write decision per stream index.
+const WRITE_STREAM: u64 = 0x5752_4454; // "WRDT"
 
 /// Hashes one successful payload, mixed with the operation id so identical
 /// payloads at different stream positions stay distinguishable. XOR-folding
@@ -91,6 +95,15 @@ pub struct DriverConfig {
     pub seed: u64,
     /// Per-attempt timeout stamped on every request.
     pub timeout: Duration,
+    /// Fraction of stream indices that issue a mutation instead of a query
+    /// (0.0 = pure reads — bit-identical to a run without any write path).
+    /// The decision is a pure function of `(mutation_seed, index)`, so a
+    /// fixed seed pair reproduces the exact read/write interleaving.
+    pub write_ratio: f64,
+    /// Seed of the mutation stream (both the write decision and the
+    /// mutation drawn; independent of the query-mix seed so read and write
+    /// streams can be varied separately).
+    pub mutation_seed: u64,
 }
 
 impl Default for DriverConfig {
@@ -103,6 +116,8 @@ impl Default for DriverConfig {
             burst: 1,
             seed: 7,
             timeout: Duration::from_secs(5),
+            write_ratio: 0.0,
+            mutation_seed: 11,
         }
     }
 }
@@ -161,6 +176,22 @@ pub struct StressReport {
     /// Bytes resident across every shard's result cache at the end of the
     /// run (a gauge — not scoped to the run).
     pub cache_bytes: u64,
+    /// Mutations accepted into the write buffer by this run's clients
+    /// (write operations are counted here, never in `ops`, so the read
+    /// stream's accounting — and `answer_hash` — is write-ratio-0
+    /// identical to a frozen run).
+    pub writes: u64,
+    /// Mutations refused at submission (read-only service, or closed).
+    pub write_errors: u64,
+    /// Writer-side counters and freshness histograms, scoped to this run
+    /// (the driver takes a writer baseline next to the query-counter
+    /// baseline, so `--repeat` passes don't double-count mutations). All
+    /// zeros/empty for a read-only target.
+    pub epochs: WriterReport,
+    /// Client-observed accept latency of each successful mutation
+    /// submission in nanoseconds (the write-side backpressure signal:
+    /// rises when the write buffer fills faster than epochs install).
+    pub write_accept: LogHistogram,
     /// Order-independent XOR fold of every successful payload (see the
     /// module docs). Two runs of the same seeded mix over the same graph
     /// must report the same hash, cached or not.
@@ -235,13 +266,29 @@ impl StressReport {
             self.cache_evictions,
             self.cache_bytes
         );
+        let epochs = format!(
+            "{{\"epoch\": {}, \"swaps\": {}, \"accepted\": {}, \"applied\": {}, \
+             \"noops\": {}, \"pending\": {}, \"swap_pause_ns\": {}, \"write_apply_ns\": {}, \
+             \"freshness_lag_ns\": {}, \"write_accept_ns\": {}}}",
+            self.epochs.stats.epoch,
+            self.epochs.stats.swaps,
+            self.epochs.stats.accepted,
+            self.epochs.stats.applied,
+            self.epochs.stats.noops,
+            self.epochs.stats.pending,
+            hist(&self.epochs.swap_pause),
+            hist(&self.epochs.write_apply),
+            hist(&self.epochs.freshness_lag),
+            hist(&self.write_accept)
+        );
         format!(
             "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
              \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"elapsed_s\": {:.3},\n  \
              \"ops\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \
              \"timeouts\": {},\n  \"retries\": {},\n  \"routed\": {},\n  \"scattered\": {},\n  \
-             \"rejects\": {},\n  \"early_drops\": {},\n  \"throughput_ops_s\": {:.1},\n  \
-             \"answer_hash\": \"{:016x}\",\n  \"cache\": {},\n  \
+             \"rejects\": {},\n  \"early_drops\": {},\n  \"writes\": {},\n  \
+             \"write_errors\": {},\n  \"throughput_ops_s\": {:.1},\n  \
+             \"answer_hash\": \"{:016x}\",\n  \"cache\": {},\n  \"epochs\": {},\n  \
              \"latency_ns\": {},\n  \"service_ns\": {},\n  \"gather_ns\": {},\n  \
              \"per_shard\": [{}]\n}}\n",
             json_escape(name),
@@ -262,9 +309,12 @@ impl StressReport {
             self.scattered,
             self.rejects,
             self.early_drops,
+            self.writes,
+            self.write_errors,
             self.throughput(),
             self.answer_hash,
             cache,
+            epochs,
             hist(&self.latency),
             hist(&self.service_time),
             hist(&self.gather),
@@ -306,6 +356,18 @@ impl StressReport {
             self.rejects, self.early_drops
         ));
         out.push_str(&format!(
+            "| writes / write errors | {} / {} |\n",
+            self.writes, self.write_errors
+        ));
+        out.push_str(&format!(
+            "| epoch / swaps | {} / {} |\n",
+            self.epochs.stats.epoch, self.epochs.stats.swaps
+        ));
+        out.push_str(&format!(
+            "| mutations applied / no-ops | {} / {} |\n",
+            self.epochs.stats.applied, self.epochs.stats.noops
+        ));
+        out.push_str(&format!(
             "| cache hits / misses | {} / {} |\n",
             self.cache_hits, self.cache_misses
         ));
@@ -321,6 +383,10 @@ impl StressReport {
             ("latency", &self.latency),
             ("service", &self.service_time),
             ("gather", &self.gather),
+            ("swap pause", &self.epochs.swap_pause),
+            ("write apply", &self.epochs.write_apply),
+            ("freshness lag", &self.epochs.freshness_lag),
+            ("write accept", &self.write_accept),
         ] {
             out.push_str(&format!(
                 "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
@@ -365,10 +431,13 @@ struct ClientStats {
     retries: u64,
     routed: u64,
     scattered: u64,
+    writes: u64,
+    write_errors: u64,
     answer_hash: u64,
     latency: LogHistogram,
     service_time: LogHistogram,
     gather: LogHistogram,
+    write_accept: LogHistogram,
 }
 
 /// Runs the workload described by `cfg` against `target` and aggregates
@@ -378,7 +447,13 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
     let next_op = AtomicU64::new(0);
     // Counter baseline: the same service process may host several runs, so
     // the report subtracts what was already on the clocks (see module docs).
+    // The writer baseline also *resets* the freshness histograms (they
+    // merge but cannot subtract), scoping them to this run too.
     let baseline = target.shard_snapshots();
+    let writer_baseline = target.writer_baseline();
+    // Mutation stream span: the initial vertex-id space (every vertex is
+    // owned by exactly one shard, so the owned counts sum to n).
+    let base_n = baseline.iter().map(|s| s.owned).sum::<usize>().max(2);
     let bucket = cfg
         .rate
         .map(|r| Mutex::new(TokenBucket::new(r, cfg.burst.max(1))));
@@ -392,7 +467,7 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
                 let next_op = &next_op;
                 let bucket = &bucket;
                 scope.spawn(move || {
-                    client_loop(target, mix, cfg, next_op, bucket, interval_ns, start, end)
+                    client_loop(target, mix, cfg, base_n, next_op, bucket, interval_ns, start, end)
                 })
             })
             .collect();
@@ -410,10 +485,13 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         total.retries += c.retries;
         total.routed += c.routed;
         total.scattered += c.scattered;
+        total.writes += c.writes;
+        total.write_errors += c.write_errors;
         total.answer_hash ^= c.answer_hash;
         total.latency.merge(&c.latency);
         total.service_time.merge(&c.service_time);
         total.gather.merge(&c.gather);
+        total.write_accept.merge(&c.write_accept);
     }
     let per_shard: Vec<ShardSnapshot> = target
         .shard_snapshots()
@@ -427,6 +505,10 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         .collect();
     let rejects = per_shard.iter().map(|s| s.stats.rejected).sum();
     let early_drops = per_shard.iter().map(|s| s.stats.early_drops).sum();
+    // Writer counters scoped to this run; the histograms were reset at the
+    // baseline, so they already are.
+    let mut epochs = target.writer_report();
+    epochs.stats = epochs.stats.delta_since(&writer_baseline);
     StressReport {
         mix: mix.name().to_string(),
         seed: cfg.seed,
@@ -445,6 +527,10 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         scattered: total.scattered,
         rejects,
         early_drops,
+        writes: total.writes,
+        write_errors: total.write_errors,
+        epochs,
+        write_accept: total.write_accept,
         cache_hits: per_shard.iter().map(|s| s.stats.cache_hits).sum(),
         cache_misses: per_shard.iter().map(|s| s.stats.cache_misses).sum(),
         cache_insertions: per_shard.iter().map(|s| s.stats.cache_insertions).sum(),
@@ -463,6 +549,7 @@ fn client_loop<T: StressTarget>(
     target: &T,
     mix: &Mix,
     cfg: &DriverConfig,
+    base_n: usize,
     next_op: &AtomicU64,
     bucket: &Option<Mutex<TokenBucket>>,
     interval_ns: Option<u64>,
@@ -507,6 +594,26 @@ fn client_loop<T: StressTarget>(
                 break;
             }
         }
+        // Write decision: a pure function of (mutation_seed, index), so
+        // the read/write interleaving replays exactly. Write indices are
+        // consumed from the shared stream but recorded apart from the read
+        // accounting — with write_ratio 0 the loop below is bit-identical
+        // to a run without any write path.
+        let is_write = cfg.write_ratio > 0.0
+            && mix3(cfg.mutation_seed, i, WRITE_STREAM) % 1_000_000
+                < (cfg.write_ratio * 1e6) as u64;
+        if is_write {
+            let t0 = Instant::now();
+            match target.submit_mutation(mutation_op(cfg.mutation_seed, i, base_n)) {
+                Ok(_) => {
+                    stats.writes += 1;
+                    stats.write_accept.record(t0.elapsed().as_nanos() as u64);
+                }
+                Err(SubmitError::Closed) => break,
+                Err(_) => stats.write_errors += 1,
+            }
+            continue;
+        }
         // Intended start on the fixed schedule (coordinated-omission
         // correction); actual submit time when unthrottled.
         let intended = match interval_ns {
@@ -518,7 +625,7 @@ fn client_loop<T: StressTarget>(
             .with_timeout(cfg.timeout);
         let ticket = match target.submit_op(req) {
             Ok(t) => t,
-            Err(SubmitError::Closed | SubmitError::Full) => break,
+            Err(_) => break,
         };
         let resp = ticket.wait();
         let done = Instant::now();

@@ -26,6 +26,11 @@
 //!   analytics answers *and* scattered per-shard partials, with
 //!   deterministic (wall-clock-free) eviction and invalidation hooks for
 //!   graph swaps / re-shards;
+//! * [`epoch`] — live mutations: a bounded write buffer drained by a
+//!   writer thread that applies seeded mutation batches off the serving
+//!   path and installs immutable epoch snapshots (monotone ids, atomic
+//!   swap, incremental shard-slice rebuild); queries pin their epoch at
+//!   submission, so reads are snapshot-isolated while the graph evolves;
 //! * [`rate`] — a GCRA token bucket over integer nanoseconds, exactly
 //!   testable because it never reads a clock;
 //! * [`mix`] — deterministic operation mixes: `(seed, index) → operation`
@@ -43,6 +48,7 @@
 
 pub mod cache;
 pub mod driver;
+pub mod epoch;
 pub use vcgp_testkit::json;
 pub mod mix;
 pub mod rate;
@@ -53,6 +59,9 @@ pub mod shard;
 
 pub use cache::{CacheKey, CacheScope, CacheStats, CachedAnswer, ResultCache};
 pub use driver::{run, DriverConfig, StressReport};
+pub use epoch::{
+    mutation_op, EpochSnapshot, MutationConfig, ShardSlice, WriterReport, WriterStats,
+};
 pub use mix::Mix;
 pub use rate::TokenBucket;
 pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};

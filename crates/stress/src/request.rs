@@ -1,5 +1,7 @@
 //! Typed requests and responses of the graph-query service.
 
+use crate::epoch::EpochSnapshot;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vcgp_core::service::Partial;
 use vcgp_core::Workload;
@@ -61,6 +63,12 @@ pub struct QueryRequest {
     /// Optional absolute deadline for the whole request, retries included.
     /// Expired requests fail fast without consuming an execution slot.
     pub deadline: Option<Instant>,
+    /// The epoch snapshot this request is pinned to, stamped by the
+    /// service at submission (snapshot isolation: the request serves this
+    /// version of the graph even if the writer swaps in a newer epoch
+    /// mid-flight). `None` only before submission; backends fall back to
+    /// epoch 0.
+    pub epoch: Option<Arc<EpochSnapshot>>,
 }
 
 impl QueryRequest {
@@ -73,6 +81,7 @@ impl QueryRequest {
             seed: id,
             timeout: Duration::from_secs(5),
             deadline: None,
+            epoch: None,
         }
     }
 

@@ -23,6 +23,7 @@
 //! load drivers can report routed-vs-scattered traffic and gather latency
 //! without asking the service.
 
+use crate::epoch::{WriterReport, WriterStats};
 use crate::request::{
     QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route,
 };
@@ -30,6 +31,7 @@ use crate::service::{GraphService, ShardSnapshot, SubmitError, Ticket};
 use crate::shard::ShardedGraphService;
 use std::time::{Duration, Instant};
 use vcgp_core::service::{gather_mode, GatherMode, Partial};
+use vcgp_graph::Mutation;
 
 /// A pending response from either a single queue or a scattered fan-out.
 pub enum AnyTicket {
@@ -170,7 +172,13 @@ impl ShardedGraphService {
     /// a scatter fails midway, legs already accepted still execute but
     /// their responses are abandoned (dropped tickets), matching the
     /// semantics of dropping any other ticket.
-    pub fn submit(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError> {
+    ///
+    /// Every submission is pinned to the currently serving epoch — **one**
+    /// snapshot across all legs of a scatter, so a swap landing mid-fan-out
+    /// can never hand different legs different graph versions (the gather
+    /// merge would silently mix epochs otherwise).
+    pub fn submit(&self, mut req: QueryRequest) -> Result<AnyTicket, SubmitError> {
+        req.epoch = Some(self.epochs.current());
         match req.kind {
             QueryKind::Degree(v) | QueryKind::Neighbors(v) => {
                 let shard = self.owner(v);
@@ -223,6 +231,22 @@ pub trait StressTarget: Sync {
     fn num_shards(&self) -> usize;
     /// Per-shard identity + counters.
     fn shard_snapshots(&self) -> Vec<ShardSnapshot>;
+    /// Submits one mutation to the write buffer. The default target is
+    /// read-only.
+    fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
+        let _ = mutation;
+        Err(SubmitError::ReadOnly)
+    }
+    /// Snapshots the writer counters and resets the freshness histograms
+    /// (run scoping). A no-op returning zeros on a read-only target.
+    fn writer_baseline(&self) -> WriterStats {
+        WriterStats::default()
+    }
+    /// Writer counters plus freshness histograms (empty on a read-only
+    /// target).
+    fn writer_report(&self) -> WriterReport {
+        WriterReport::default()
+    }
 }
 
 impl StressTarget for GraphService {
@@ -240,9 +264,21 @@ impl StressTarget for GraphService {
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         vec![ShardSnapshot {
             shard: 0,
-            owned: self.graph().num_vertices(),
+            owned: self.epoch().graph.num_vertices(),
             stats: self.stats(),
         }]
+    }
+
+    fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
+        self.submit_mutation(mutation)
+    }
+
+    fn writer_baseline(&self) -> WriterStats {
+        self.writer_baseline()
+    }
+
+    fn writer_report(&self) -> WriterReport {
+        self.writer_report()
     }
 }
 
@@ -257,5 +293,17 @@ impl StressTarget for ShardedGraphService {
 
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         self.shard_snapshots()
+    }
+
+    fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
+        self.submit_mutation(mutation)
+    }
+
+    fn writer_baseline(&self) -> WriterStats {
+        self.writer_baseline()
+    }
+
+    fn writer_report(&self) -> WriterReport {
+        self.writer_report()
     }
 }

@@ -38,6 +38,10 @@
 //! workload answer (whole or scattered leg) on completion.
 
 use crate::cache::{CacheKey, CacheScope, CachedAnswer, ResultCache};
+use crate::epoch::{
+    spawn_writer, EpochManager, EpochRebuild, EpochSnapshot, MutationConfig, WriterReport,
+    WriterStats,
+};
 use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,8 +49,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vcgp_core::fingerprint::graph_fingerprint;
 use vcgp_graph::rng::mix3;
-use vcgp_graph::{Graph, SplitMix64};
+use vcgp_graph::{apply_batch, ApplyStats, Graph, Mutation, SplitMix64};
 use vcgp_pregel::PregelConfig;
 
 /// What [`Core::submit`] does when the queue is at capacity.
@@ -103,6 +108,11 @@ pub struct ServiceConfig {
     /// doubles as the shard-placement strategy of the sharded service, so
     /// the `VCGP_PARTITIONING` override applies to both.
     pub engine: PregelConfig,
+    /// Live-mutation settings. `None` (the default) keeps the service
+    /// read-only: [`GraphService::submit_mutation`] fails with
+    /// [`SubmitError::ReadOnly`], no writer thread is spawned, and queries
+    /// always serve epoch 0.
+    pub mutations: Option<MutationConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +129,7 @@ impl Default for ServiceConfig {
             seed: 0x5354_5253, // "STRS"
             cache_capacity: 256,
             engine: PregelConfig::single_worker(),
+            mutations: None,
         }
     }
 }
@@ -130,6 +141,9 @@ pub enum SubmitError {
     Closed,
     /// The queue is at capacity (only from [`GraphService::try_submit`]).
     Full,
+    /// A mutation was submitted to a service started without a
+    /// [`MutationConfig`] — the graph is frozen.
+    ReadOnly,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -137,6 +151,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Closed => write!(f, "service closed"),
             SubmitError::Full => write!(f, "queue full"),
+            SubmitError::ReadOnly => {
+                write!(f, "service is read-only (no mutation stream configured)")
+            }
         }
     }
 }
@@ -268,20 +285,24 @@ struct Shared {
 }
 
 /// How an executor turns a dequeued request into an output. Implemented by
-/// the full-graph backend below and by shard slices.
+/// the full-graph backend below and by shard slices. Backends read the
+/// request's pinned [`EpochSnapshot`] (stamped at submission), so a
+/// request keeps serving its epoch even after the writer swaps in a newer
+/// one.
 pub(crate) trait ExecBackend: Send + Sync + 'static {
     fn execute(
         &self,
-        kind: &QueryKind,
-        seed: u64,
+        req: &QueryRequest,
         engine: &PregelConfig,
     ) -> Result<QueryOutput, QueryError>;
 
-    /// The result-cache identity of `(kind, seed)` on this backend, or
-    /// `None` for kinds that must not be memoized (point lookups, debug
-    /// hooks). The default backend is uncacheable.
-    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
-        let _ = (kind, seed);
+    /// The result-cache identity of the request on this backend, or `None`
+    /// for kinds that must not be memoized (point lookups, debug hooks).
+    /// Derived from the request's pinned epoch, so lookup and insert agree
+    /// on the fingerprint even when a swap lands mid-request. The default
+    /// backend is uncacheable.
+    fn cache_key(&self, req: &QueryRequest) -> Option<CacheKey> {
+        let _ = req;
         None
     }
 }
@@ -406,7 +427,7 @@ impl Core {
     /// request must execute: uncacheable kind, caching disabled, or a miss.
     fn cached_response(&self, req: &QueryRequest) -> Option<Ticket> {
         let cache = self.shared.cache.as_ref()?;
-        let key = self.backend.cache_key(&req.kind, req.seed)?;
+        let key = self.backend.cache_key(req)?;
         let value = cache.get(&key)?;
         self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -546,8 +567,31 @@ impl Core {
         }
     }
 
+    /// A detachable handle to this core's cache-invalidation hook, so the
+    /// epoch writer thread can fire it at each swap without holding a
+    /// reference to the core itself.
+    pub(crate) fn invalidator(&self) -> CacheInvalidator {
+        CacheInvalidator {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     pub(crate) fn queue_depth(&self) -> usize {
         self.shared.state.lock().unwrap().jobs.len()
+    }
+}
+
+/// An owned handle to one core's result-cache invalidation (see
+/// [`Core::invalidator`]).
+pub(crate) struct CacheInvalidator {
+    shared: Arc<Shared>,
+}
+
+impl CacheInvalidator {
+    pub(crate) fn invalidate(&self) {
+        if let Some(cache) = &self.shared.cache {
+            cache.invalidate_all();
+        }
     }
 }
 
@@ -558,25 +602,55 @@ impl Drop for Core {
     }
 }
 
-/// The full-resident-graph execution backend behind [`GraphService`].
+/// The full-resident-graph execution backend behind [`GraphService`]:
+/// serves each request from its pinned epoch's graph.
 struct FullGraphBackend {
-    graph: Arc<Graph>,
-    /// Structural fingerprint of the resident graph, computed once at load.
-    fingerprint: u64,
+    /// Epoch-0 fallback for requests without a pinned snapshot (none in
+    /// practice: the service stamps every submission).
+    base: Arc<EpochSnapshot>,
 }
 
 impl ExecBackend for FullGraphBackend {
     fn execute(
         &self,
-        kind: &QueryKind,
-        seed: u64,
+        req: &QueryRequest,
         engine: &PregelConfig,
     ) -> Result<QueryOutput, QueryError> {
-        execute_on_full_graph(&self.graph, kind, seed, engine)
+        let snap = req.epoch.as_ref().unwrap_or(&self.base);
+        execute_on_full_graph(&snap.graph, &req.kind, req.seed, engine)
     }
 
-    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
-        workload_cache_key(kind, seed, self.fingerprint, self.fingerprint)
+    fn cache_key(&self, req: &QueryRequest) -> Option<CacheKey> {
+        let snap = req.epoch.as_ref().unwrap_or(&self.base);
+        workload_cache_key(&req.kind, req.seed, snap.fingerprint, snap.fingerprint)
+    }
+}
+
+/// The epoch-rebuild backend of the single-instance service: apply the
+/// batch to the full graph with the incremental CSR splice and refresh the
+/// whole-answer fingerprint. No shard slices to maintain.
+struct FullGraphRebuild {
+    invalidator: CacheInvalidator,
+}
+
+impl EpochRebuild for FullGraphRebuild {
+    fn rebuild(&self, base: &EpochSnapshot, batch: &[Mutation]) -> (EpochSnapshot, ApplyStats) {
+        let (graph, delta) = apply_batch(&base.graph, batch);
+        let graph = Arc::new(graph);
+        let fingerprint = graph_fingerprint(&graph);
+        (
+            EpochSnapshot {
+                id: base.id + 1,
+                graph,
+                fingerprint,
+                locals: Vec::new(),
+            },
+            delta.stats,
+        )
+    }
+
+    fn invalidate(&self) {
+        self.invalidator.invalidate();
     }
 }
 
@@ -607,55 +681,134 @@ pub(crate) fn workload_cache_key(
     }
 }
 
-/// A resident graph serving typed queries from a bounded queue.
+/// A resident graph serving typed queries from a bounded queue, with an
+/// optional live-mutation stream installing epoch-versioned snapshots.
 pub struct GraphService {
     graph: Arc<Graph>,
     core: Core,
+    epochs: Arc<EpochManager>,
+    /// The epoch writer thread; `None` when the service is read-only.
+    writer: Option<JoinHandle<()>>,
 }
 
 impl GraphService {
-    /// Loads `graph` behind the service (fingerprinting it once for the
-    /// result cache) and spawns the executor pool.
+    /// Loads `graph` as epoch 0 (fingerprinting it once for the result
+    /// cache) and spawns the executor pool — plus, when
+    /// [`ServiceConfig::mutations`] is set, the epoch writer thread.
     pub fn start(graph: Arc<Graph>, config: ServiceConfig) -> GraphService {
+        let epochs = Arc::new(EpochManager::new(
+            EpochSnapshot {
+                id: 0,
+                graph: Arc::clone(&graph),
+                fingerprint: graph_fingerprint(&graph),
+                locals: Vec::new(),
+            },
+            config.mutations.as_ref(),
+        ));
         let backend = Arc::new(FullGraphBackend {
-            fingerprint: vcgp_core::fingerprint::graph_fingerprint(&graph),
-            graph: Arc::clone(&graph),
+            base: epochs.current(),
         });
         let core = Core::start(backend, &config, "exec");
-        GraphService { graph, core }
+        let writer = config.mutations.is_some().then(|| {
+            spawn_writer(
+                Arc::clone(&epochs),
+                Box::new(FullGraphRebuild {
+                    invalidator: core.invalidator(),
+                }),
+            )
+        });
+        GraphService {
+            graph,
+            core,
+            epochs,
+            writer,
+        }
     }
 
-    /// The resident graph.
+    /// The initially loaded (epoch 0) graph. Use [`GraphService::epoch`]
+    /// for the currently serving version.
     pub fn graph(&self) -> &Arc<Graph> {
         &self.graph
     }
 
-    /// Submits a request. Under [`QueueFullPolicy::Block`] this blocks
-    /// while the queue is full; under [`QueueFullPolicy::Reject`] a full
-    /// queue yields a ticket that resolves immediately to
-    /// [`QueryError::Rejected`]. Fails only when the service is closed.
-    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+    /// The currently serving epoch snapshot.
+    pub fn epoch(&self) -> Arc<EpochSnapshot> {
+        self.epochs.current()
+    }
+
+    /// Every epoch installed so far (including the initial one), when the
+    /// service was started with [`MutationConfig::keep_history`]; `None`
+    /// otherwise. Test instrumentation for checking answers against the
+    /// full version history.
+    pub fn epoch_history(&self) -> Option<Vec<Arc<EpochSnapshot>>> {
+        self.epochs.history()
+    }
+
+    /// Submits a request, pinning it to the currently serving epoch.
+    /// Under [`QueueFullPolicy::Block`] this blocks while the queue is
+    /// full; under [`QueueFullPolicy::Reject`] a full queue yields a
+    /// ticket that resolves immediately to [`QueryError::Rejected`]. Fails
+    /// only when the service is closed.
+    pub fn submit(&self, mut req: QueryRequest) -> Result<Ticket, SubmitError> {
+        req.epoch = Some(self.epochs.current());
         self.core.submit(req)
     }
 
     /// Non-blocking submit: fails immediately when the queue is full or the
     /// service is closed.
-    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+    pub fn try_submit(&self, mut req: QueryRequest) -> Result<Ticket, SubmitError> {
+        req.epoch = Some(self.epochs.current());
         self.core.try_submit(req)
     }
 
-    /// Stops admitting new requests. Already-accepted requests keep their
-    /// place and will be answered; pending and future [`submit`] calls
-    /// return [`SubmitError::Closed`].
+    /// Appends one mutation to the bounded write buffer (blocking while it
+    /// is full), returning its accept sequence number. The writer thread
+    /// applies buffered mutations in batches and installs each batch as
+    /// the next epoch; queries submitted before the swap keep answering
+    /// from their pinned epoch. Fails with [`SubmitError::ReadOnly`] when
+    /// the service was started without [`ServiceConfig::mutations`].
+    pub fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
+        self.epochs.accept(mutation)
+    }
+
+    /// Writer-side counters (epoch id, swaps, accepted/applied/no-op
+    /// mutations, backlog).
+    pub fn writer_stats(&self) -> WriterStats {
+        self.epochs.writer_stats()
+    }
+
+    /// Writer counters plus the freshness histograms (swap pause,
+    /// write-apply latency, freshness lag).
+    pub fn writer_report(&self) -> WriterReport {
+        self.epochs.writer_report()
+    }
+
+    /// Snapshots the writer counters and resets the freshness histograms —
+    /// the run-scoping baseline (see
+    /// [`crate::epoch::EpochManager::writer_baseline`]).
+    pub fn writer_baseline(&self) -> WriterStats {
+        self.epochs.writer_baseline()
+    }
+
+    /// Stops admitting new requests and new mutations. Already-accepted
+    /// requests keep their place and will be answered; buffered mutations
+    /// are still applied; pending and future [`submit`] calls return
+    /// [`SubmitError::Closed`].
     ///
     /// [`submit`]: GraphService::submit
     pub fn close(&self) {
         self.core.close();
+        self.epochs.close();
     }
 
-    /// Closes the service and blocks until the executors have drained every
-    /// accepted request. Returns the final counters.
+    /// Closes the service and blocks until the writer has applied every
+    /// accepted mutation and the executors have drained every accepted
+    /// request. Returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
+        self.epochs.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
         self.core.close();
         self.core.join();
         self.core.stats()
@@ -676,6 +829,18 @@ impl GraphService {
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         self.core.queue_depth()
+    }
+}
+
+impl Drop for GraphService {
+    fn drop(&mut self) {
+        // Stop and join the writer before the core's own Drop closes the
+        // queues — a detached writer blocked on the write buffer would
+        // leak its thread.
+        self.epochs.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
     }
 }
 
@@ -734,7 +899,7 @@ fn serve(
         }
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            backend.execute(&req.kind, req.seed, &config.engine)
+            backend.execute(req, &config.engine)
         }));
         let elapsed = t0.elapsed();
         service_time += elapsed;
@@ -750,7 +915,7 @@ fn serve(
                 // a later identical request (or this one's retry path, via
                 // a fresh submit) gets it for free.
                 if let Some(cache) = &shared.cache {
-                    if let Some(key) = backend.cache_key(&req.kind, req.seed) {
+                    if let Some(key) = backend.cache_key(req) {
                         if let Some(value) = cacheable_output(&output) {
                             cache.insert(key, value);
                         }

@@ -21,22 +21,45 @@
 //! way a scatter/gather merge can be *exactly* equal to the unsharded
 //! answer).
 //!
+//! Under live mutations the slices are **per-epoch**: every
+//! [`EpochSnapshot`] carries one [`ShardSlice`] per shard, and the epoch
+//! writer rebuilds them *incrementally* — [`vcgp_graph::splice_slice`]
+//! patches only the touched rows of the previous epoch's slice (falling
+//! back to a from-scratch rebuild when the delta is large), and the
+//! owned-id-set hash is extended rather than recomputed when the id space
+//! grows. Ownership itself is **frozen at start**: the partitioner is
+//! total over the whole `u32` id space, so vertices added later still get
+//! a deterministic owner and the routing of pinned in-flight requests is
+//! never invalidated (vertex removal detaches but never shrinks the id
+//! space for the same reason).
+//!
 //! Each shard runs its own [`Core`]: its own bounded queue, executor pool,
 //! counters, and queue-depth high-water mark, so per-shard occupancy is
 //! observable ([`ShardedGraphService::shard_snapshots`]).
 
 use crate::cache::CacheKey;
-use crate::request::{QueryError, QueryKind, QueryOutput};
+use crate::epoch::{
+    spawn_writer, EpochManager, EpochRebuild, EpochSnapshot, ShardSlice, WriterReport, WriterStats,
+};
+use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest};
 use crate::service::{
-    execute_on_full_graph, workload_cache_key, Core, ExecBackend, ServiceConfig, ServiceStats,
-    ShardSnapshot,
+    execute_on_full_graph, workload_cache_key, CacheInvalidator, Core, ExecBackend, ServiceConfig,
+    ServiceStats, ShardSnapshot, SubmitError,
 };
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use vcgp_core::fingerprint::{graph_fingerprint, leg_fingerprint};
 use vcgp_graph::rng::mix3;
-use vcgp_graph::{Graph, GraphBuilder, VertexId};
+use vcgp_graph::{apply_batch, splice_slice, ApplyDelta, ApplyStats, Graph, GraphBuilder, Mutation,
+    VertexId};
 use vcgp_pregel::partition::Partitioner;
 use vcgp_pregel::PregelConfig;
+
+/// Domain separator of the owned-id-set hash.
+const OWNS_STREAM: u64 = 0x4F57_4E53; // "OWNS"
+
+/// Domain separator folding the slice fingerprint into the leg identity.
+const SLICE_STREAM: u64 = 0x534C_4943; // "SLIC"
 
 /// Builds shard `shard`'s local subgraph: a directed graph over the full
 /// vertex-id space containing exactly the out-arcs of owned vertices (with
@@ -58,20 +81,129 @@ fn build_local_slice(full: &Graph, partitioner: &Partitioner, shard: usize) -> G
     b.build()
 }
 
-/// One shard's execution backend: local slice for point lookups, full
-/// structural graph (owned-slice filtered) for analytics.
+/// Builds one shard's [`ShardSlice`] from scratch: the local subgraph plus
+/// the owned-id-set hash and the leg cache fingerprint derived from it.
+fn build_shard_slice(
+    full: &Graph,
+    partitioner: &Partitioner,
+    shard: usize,
+    whole_fp: u64,
+) -> ShardSlice {
+    let local = build_local_slice(full, partitioner, shard);
+    // The slice fingerprint alone misses owned vertices with no out-arcs
+    // (sinks leave no trace in the slice), so fold in an order-independent
+    // hash of the owned id set — the leg identity then changes under *any*
+    // ownership change.
+    let mut owned = 0usize;
+    let mut owned_hash = 0u64;
+    for v in 0..full.num_vertices() as VertexId {
+        if partitioner.owner(v) == shard {
+            owned += 1;
+            owned_hash = owned_hash.wrapping_add(mix3(u64::from(v), OWNS_STREAM, 0));
+        }
+    }
+    ShardSlice {
+        leg_fp: leg_fingerprint(whole_fp, mix3(graph_fingerprint(&local), owned_hash, SLICE_STREAM)),
+        local,
+        owned,
+        owned_hash,
+    }
+}
+
+/// Rebuilds one shard's slice for the next epoch, incrementally: extend
+/// the owned id set over any vertices the batch added (ownership of
+/// existing ids is frozen), splice only the touched rows of the previous
+/// slice, and refresh the leg fingerprint. Falls back to a from-scratch
+/// rebuild when the delta covers more than a quarter of the graph — at
+/// that point the splice's row bookkeeping costs more than it saves.
+fn rebuild_slice(
+    old: &ShardSlice,
+    full: &Arc<Graph>,
+    whole_fp: u64,
+    delta: &ApplyDelta,
+    partitioner: &Partitioner,
+    shard: usize,
+    old_n: usize,
+) -> ShardSlice {
+    let owns = |v: VertexId| partitioner.owner(v) == shard;
+    let mut owned = old.owned;
+    let mut owned_hash = old.owned_hash;
+    for v in old_n..delta.new_n {
+        if owns(v as VertexId) {
+            owned += 1;
+            owned_hash = owned_hash.wrapping_add(mix3(v as u64, OWNS_STREAM, 0));
+        }
+    }
+    let local = if delta.touched.len() * 4 > full.num_vertices() {
+        build_local_slice(full, partitioner, shard)
+    } else {
+        splice_slice(&old.local, full, &delta.touched, &owns)
+    };
+    ShardSlice {
+        leg_fp: leg_fingerprint(whole_fp, mix3(graph_fingerprint(&local), owned_hash, SLICE_STREAM)),
+        local,
+        owned,
+        owned_hash,
+    }
+}
+
+/// The epoch-rebuild backend of the sharded service: apply the batch to
+/// the full graph (incremental CSR splice), then rebuild each shard's
+/// slice incrementally from the previous epoch's.
+struct ShardedRebuild {
+    partitioner: Partitioner,
+    invalidators: Vec<CacheInvalidator>,
+}
+
+impl EpochRebuild for ShardedRebuild {
+    fn rebuild(&self, base: &EpochSnapshot, batch: &[Mutation]) -> (EpochSnapshot, ApplyStats) {
+        let old_n = base.graph.num_vertices();
+        let (graph, delta) = apply_batch(&base.graph, batch);
+        let graph = Arc::new(graph);
+        let whole_fp = graph_fingerprint(&graph);
+        let locals = base
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(s, old)| {
+                Arc::new(rebuild_slice(
+                    old,
+                    &graph,
+                    whole_fp,
+                    &delta,
+                    &self.partitioner,
+                    s,
+                    old_n,
+                ))
+            })
+            .collect();
+        (
+            EpochSnapshot {
+                id: base.id + 1,
+                graph,
+                fingerprint: whole_fp,
+                locals,
+            },
+            delta.stats,
+        )
+    }
+
+    fn invalidate(&self) {
+        for inv in &self.invalidators {
+            inv.invalidate();
+        }
+    }
+}
+
+/// One shard's execution backend: the pinned epoch's local slice for point
+/// lookups, its full structural graph (owned-slice filtered) for
+/// analytics.
 struct ShardBackend {
     shard: usize,
     partitioner: Partitioner,
-    full: Arc<Graph>,
-    local: Graph,
-    /// Fingerprint of the full structural graph (identifies whole answers
-    /// on the primary-shard fall-back path). Computed once at start.
-    whole_fp: u64,
-    /// Fingerprint of this shard's scattered legs: full graph ⊕ local
-    /// slice, so a leg's cache identity pins down both the algorithm input
-    /// and the ownership predicate (any re-shard changes it).
-    leg_fp: u64,
+    /// Epoch-0 fallback for requests without a pinned snapshot (none in
+    /// practice: the router stamps every submission).
+    base: Arc<EpochSnapshot>,
 }
 
 impl ShardBackend {
@@ -83,33 +215,39 @@ impl ShardBackend {
 impl ExecBackend for ShardBackend {
     fn execute(
         &self,
-        kind: &QueryKind,
-        seed: u64,
+        req: &QueryRequest,
         engine: &PregelConfig,
     ) -> Result<QueryOutput, QueryError> {
-        match *kind {
+        let snap = req.epoch.as_ref().unwrap_or(&self.base);
+        match req.kind {
             // The router owner-routes lookups, so these normally hit the
             // local slice. A misrouted (e.g. directly submitted) lookup of
             // a non-owned vertex falls back to the full graph so the answer
             // stays correct either way.
             QueryKind::Degree(v) => {
-                if (v as usize) >= self.local.num_vertices() {
+                let local = &snap.locals[self.shard].local;
+                if (v as usize) >= local.num_vertices() {
                     return Err(QueryError::NoSuchVertex(v));
                 }
-                let g = if self.owns(v) { &self.local } else { &*self.full };
+                let g = if self.owns(v) { local } else { &*snap.graph };
                 Ok(QueryOutput::Degree(g.out_degree(v)))
             }
             QueryKind::Neighbors(v) => {
-                if (v as usize) >= self.local.num_vertices() {
+                let local = &snap.locals[self.shard].local;
+                if (v as usize) >= local.num_vertices() {
                     return Err(QueryError::NoSuchVertex(v));
                 }
-                let g = if self.owns(v) { &self.local } else { &*self.full };
+                let g = if self.owns(v) { local } else { &*snap.graph };
                 Ok(QueryOutput::Neighbors(g.out_neighbors(v).to_vec()))
             }
             QueryKind::WorkloadPartial(w) => {
-                let run = vcgp_core::service::run_workload_partial(w, &self.full, engine, seed, &|v| {
-                    self.owns(v)
-                })
+                let run = vcgp_core::service::run_workload_partial(
+                    w,
+                    &snap.graph,
+                    engine,
+                    req.seed,
+                    &|v| self.owns(v),
+                )
                 .map_err(|e| QueryError::Unsupported(e.to_string()))?;
                 Ok(QueryOutput::WorkloadPartial {
                     partial: run.partial,
@@ -119,23 +257,29 @@ impl ExecBackend for ShardBackend {
             }
             // Whole workloads (the primary-shard fall-back path) and the
             // debug hooks behave exactly like the single-instance service.
-            _ => execute_on_full_graph(&self.full, kind, seed, engine),
+            _ => execute_on_full_graph(&snap.graph, &req.kind, req.seed, engine),
         }
     }
 
-    fn cache_key(&self, kind: &QueryKind, seed: u64) -> Option<CacheKey> {
-        workload_cache_key(kind, seed, self.whole_fp, self.leg_fp)
+    fn cache_key(&self, req: &QueryRequest) -> Option<CacheKey> {
+        let snap = req.epoch.as_ref().unwrap_or(&self.base);
+        workload_cache_key(
+            &req.kind,
+            req.seed,
+            snap.fingerprint,
+            snap.locals[self.shard].leg_fp,
+        )
     }
 }
 
 pub(crate) struct Shard {
     pub(crate) core: Core,
-    pub(crate) owned: usize,
 }
 
 /// The resident graph served by `S` independent shard cores behind an
 /// owner-routing / scatter-gather front-end (the routing itself lives in
-/// [`crate::router`]).
+/// [`crate::router`]), with an optional live-mutation stream installing
+/// epoch-versioned snapshots (graph + per-shard slices swap together).
 pub struct ShardedGraphService {
     pub(crate) graph: Arc<Graph>,
     pub(crate) partitioner: Partitioner,
@@ -143,58 +287,109 @@ pub struct ShardedGraphService {
     /// Shard that runs non-gather-mergeable workloads whole (the documented
     /// fall-back keeping all 20 Table 1 workloads servable).
     pub(crate) primary: usize,
+    pub(crate) epochs: Arc<EpochManager>,
+    /// The epoch writer thread; `None` when the service is read-only.
+    writer: Option<JoinHandle<()>>,
 }
 
 impl ShardedGraphService {
     /// Splits `graph` into `num_shards` slices — placement strategy is
     /// `config.engine.partitioning` — and spawns one [`Core`] (queue +
-    /// executor pool, sized per `config`) per shard.
+    /// executor pool, sized per `config`) per shard, plus the epoch writer
+    /// thread when [`ServiceConfig::mutations`] is set.
     pub fn start(graph: Arc<Graph>, config: ServiceConfig, num_shards: usize) -> ShardedGraphService {
         assert!(num_shards >= 1, "need at least one shard");
         let n = graph.num_vertices();
         let partitioner = Partitioner::new(config.engine.partitioning, n, num_shards);
         let whole_fp = graph_fingerprint(&graph);
-        let shards = (0..num_shards)
+        let locals: Vec<Arc<ShardSlice>> = (0..num_shards)
+            .map(|s| Arc::new(build_shard_slice(&graph, &partitioner, s, whole_fp)))
+            .collect();
+        let epochs = Arc::new(EpochManager::new(
+            EpochSnapshot {
+                id: 0,
+                graph: Arc::clone(&graph),
+                fingerprint: whole_fp,
+                locals,
+            },
+            config.mutations.as_ref(),
+        ));
+        let base = epochs.current();
+        let shards: Vec<Shard> = (0..num_shards)
             .map(|s| {
-                let owned = (0..n as VertexId).filter(|&v| partitioner.owner(v) == s).count();
-                let local = build_local_slice(&graph, &partitioner, s);
-                // The slice fingerprint alone misses owned vertices with no
-                // out-arcs (sinks leave no trace in the slice), so fold in
-                // an order-independent hash of the owned id set — the leg
-                // identity then changes under *any* ownership change.
-                let owned_hash = (0..n as VertexId)
-                    .filter(|&v| partitioner.owner(v) == s)
-                    .fold(0u64, |acc, v| {
-                        acc.wrapping_add(mix3(u64::from(v), 0x4F57_4E53, 0)) // "OWNS"
-                    });
                 let backend = Arc::new(ShardBackend {
                     shard: s,
                     partitioner,
-                    full: Arc::clone(&graph),
-                    whole_fp,
-                    leg_fp: leg_fingerprint(
-                        whole_fp,
-                        mix3(graph_fingerprint(&local), owned_hash, 0x534C_4943), // "SLIC"
-                    ),
-                    local,
+                    base: Arc::clone(&base),
                 });
                 Shard {
                     core: Core::start(backend, &config, &format!("shard{s}")),
-                    owned,
                 }
             })
             .collect();
+        let writer = config.mutations.is_some().then(|| {
+            let invalidators = shards.iter().map(|sh| sh.core.invalidator()).collect();
+            spawn_writer(
+                Arc::clone(&epochs),
+                Box::new(ShardedRebuild {
+                    partitioner,
+                    invalidators,
+                }),
+            )
+        });
         ShardedGraphService {
             graph,
             partitioner,
             shards,
             primary: 0,
+            epochs,
+            writer,
         }
     }
 
-    /// The resident graph.
+    /// The initially loaded (epoch 0) graph. Use
+    /// [`ShardedGraphService::epoch`] for the currently serving version.
     pub fn graph(&self) -> &Arc<Graph> {
         &self.graph
+    }
+
+    /// The currently serving epoch snapshot.
+    pub fn epoch(&self) -> Arc<EpochSnapshot> {
+        self.epochs.current()
+    }
+
+    /// Every epoch installed so far (including the initial one), when the
+    /// service was started with
+    /// [`MutationConfig::keep_history`](crate::epoch::MutationConfig::keep_history);
+    /// `None` otherwise. Test instrumentation.
+    pub fn epoch_history(&self) -> Option<Vec<Arc<EpochSnapshot>>> {
+        self.epochs.history()
+    }
+
+    /// Appends one mutation to the bounded write buffer (blocking while it
+    /// is full), returning its accept sequence number. The writer applies
+    /// batches to the full graph and incrementally rebuilds every shard's
+    /// slice into the next epoch. Fails with [`SubmitError::ReadOnly`]
+    /// when the service was started without [`ServiceConfig::mutations`].
+    pub fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
+        self.epochs.accept(mutation)
+    }
+
+    /// Writer-side counters (epoch id, swaps, accepted/applied/no-op
+    /// mutations, backlog).
+    pub fn writer_stats(&self) -> WriterStats {
+        self.epochs.writer_stats()
+    }
+
+    /// Writer counters plus the freshness histograms.
+    pub fn writer_report(&self) -> WriterReport {
+        self.epochs.writer_report()
+    }
+
+    /// Snapshots the writer counters and resets the freshness histograms —
+    /// the run-scoping baseline.
+    pub fn writer_baseline(&self) -> WriterStats {
+        self.epochs.writer_baseline()
     }
 
     /// Number of shards.
@@ -209,14 +404,16 @@ impl ShardedGraphService {
     }
 
     /// Per-shard identity + counters, for the stress report's occupancy and
-    /// drop columns.
+    /// drop columns. Owned counts come from the serving epoch (they grow
+    /// when mutations add vertices).
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        let snap = self.epochs.current();
         self.shards
             .iter()
             .enumerate()
             .map(|(s, sh)| ShardSnapshot {
                 shard: s,
-                owned: sh.owned,
+                owned: snap.locals[s].owned,
                 stats: sh.core.stats(),
             })
             .collect()
@@ -231,25 +428,32 @@ impl ShardedGraphService {
         total
     }
 
-    /// Drops every shard's result-cache entries. The invalidation hook that
-    /// any future graph swap or live re-shard must fire before serving
-    /// resumes (a no-op when caching is disabled).
+    /// Drops every shard's result-cache entries. Fired by the epoch writer
+    /// at every swap; also callable directly (a no-op when caching is
+    /// disabled).
     pub fn invalidate_cache(&self) {
         for sh in &self.shards {
             sh.core.invalidate_cache();
         }
     }
 
-    /// Stops admissions on every shard; accepted requests still drain.
+    /// Stops admissions (requests and mutations) on every shard; accepted
+    /// requests still drain and buffered mutations are still applied.
     pub fn close(&self) {
         for sh in &self.shards {
             sh.core.close();
         }
+        self.epochs.close();
     }
 
-    /// Closes every shard and blocks until all executors drained, returning
-    /// the folded counters.
+    /// Closes every shard and blocks until the writer applied every
+    /// accepted mutation and all executors drained, returning the folded
+    /// counters.
     pub fn shutdown(mut self) -> ServiceStats {
+        self.epochs.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
         for sh in &self.shards {
             sh.core.close();
         }
@@ -267,9 +471,22 @@ impl ShardedGraphService {
     }
 }
 
+impl Drop for ShardedGraphService {
+    fn drop(&mut self) {
+        // Stop and join the writer before the cores' own Drops close the
+        // queues — a detached writer blocked on the write buffer would
+        // leak its thread.
+        self.epochs.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::mutation_op;
     use vcgp_graph::generators;
     use vcgp_pregel::partition::Partitioning;
 
@@ -307,6 +524,30 @@ mod tests {
                 }
             }
             assert!(owned.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn incremental_slice_rebuild_matches_from_scratch() {
+        let g = generators::gnm_connected(48, 100, 9);
+        let old_n = g.num_vertices();
+        for strategy in [Partitioning::Hash, Partitioning::Range] {
+            let p = Partitioner::new(strategy, old_n, 3);
+            let whole0 = graph_fingerprint(&g);
+            let slices: Vec<ShardSlice> =
+                (0..3).map(|s| build_shard_slice(&g, &p, s, whole0)).collect();
+            let batch: Vec<Mutation> = (0..16).map(|i| mutation_op(13, i, old_n)).collect();
+            let (new_full, delta) = apply_batch(&g, &batch);
+            let new_full = Arc::new(new_full);
+            let whole1 = graph_fingerprint(&new_full);
+            for (s, old_slice) in slices.iter().enumerate() {
+                let inc = rebuild_slice(old_slice, &new_full, whole1, &delta, &p, s, old_n);
+                let scratch = build_shard_slice(&new_full, &p, s, whole1);
+                assert_eq!(inc.local, scratch.local, "strategy {strategy:?} shard {s}");
+                assert_eq!(inc.owned, scratch.owned, "strategy {strategy:?} shard {s}");
+                assert_eq!(inc.owned_hash, scratch.owned_hash);
+                assert_eq!(inc.leg_fp, scratch.leg_fp, "strategy {strategy:?} shard {s}");
+            }
         }
     }
 }

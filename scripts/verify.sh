@@ -134,4 +134,34 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
 fi
 echo "   ok: answers identical ($h1), pass-2 cache hits: $hits"
 
+echo "== mutation smoke (epoch writer live at --write-ratio 0 must stay"
+echo "   bit-identical to the frozen shard4 run; a mixed read/write run must"
+echo "   complete with zero errors, at least one epoch swap, and freshness"
+echo "   metrics that pass --validate-report's count identities)"
+./target/release/stress --gen gnm-connected:256:1024:7 --ops 400 --duration 30 \
+    --seed 7 --mix mixed --shards 4 --write-ratio 0 --name mut0 --quiet
+./target/release/stress --validate-report target/vcgp-bench/BENCH_stress_mut0.json
+h4=$(hash_of target/vcgp-bench/BENCH_stress_shard4.json)
+hm=$(hash_of target/vcgp-bench/BENCH_stress_mut0.json)
+if [ -z "$hm" ] || [ "$hm" != "$h4" ]; then
+    echo "error: --write-ratio 0 diverged from the frozen run:" >&2
+    echo "frozen: ${h4:-missing}   write-ratio 0: ${hm:-missing}" >&2
+    exit 1
+fi
+./target/release/stress --gen gnm-connected:256:1024:7 --ops 400 --duration 30 \
+    --seed 7 --mix mixed --shards 4 --write-ratio 0.1 --mutation-seed 11 \
+    --name mut --quiet
+./target/release/stress --validate-report target/vcgp-bench/BENCH_stress_mut.json
+swaps=$(sed -n 's/.*"epochs": {"epoch": [0-9]*, "swaps": \([0-9]*\),.*/\1/p' \
+    target/vcgp-bench/BENCH_stress_mut.json)
+applied=$(sed -n 's/.*"applied": \([0-9]*\),.*/\1/p' \
+    target/vcgp-bench/BENCH_stress_mut.json)
+if [ -z "$swaps" ] || [ "$swaps" -eq 0 ] || [ -z "$applied" ] || [ "$applied" -eq 0 ]; then
+    echo "error: mixed read/write run installed no epochs" >&2
+    echo "       (swaps=${swaps:-missing}, applied=${applied:-missing})" >&2
+    exit 1
+fi
+echo "   ok: write-ratio 0 bit-identical ($hm); mixed run: $swaps swaps," \
+    "$applied mutations applied"
+
 echo "tier-1 verify: OK"
