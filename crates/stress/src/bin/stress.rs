@@ -5,10 +5,11 @@
 //! stress [--gen SPEC | --graph FILE [--directed]]
 //!        [--duration SECS] [--ops N] [--rate OPS_S] [--burst N]
 //!        [--clients N] [--executors N] [--queue N] [--shards N]
+//!        [--replicas N] [--routing round-robin|least-loaded]
 //!        [--queue-policy block|reject]
 //!        [--cache-capacity N] [--cache-off] [--repeat N]
 //!        [--mix points|mixed|analytics|hotspot|scatter] [--seed N]
-//!        [--write-ratio R] [--mutation-seed N]
+//!        [--zipf-s S] [--write-ratio R] [--mutation-seed N]
 //!        [--write-buffer N] [--max-batch N]
 //!        [--timeout-ms N] [--retries N] [--name NAME] [--quiet]
 //! stress --validate-report FILE
@@ -31,6 +32,7 @@ use vcgp_stress::driver::{self, DriverConfig};
 use vcgp_stress::epoch::MutationConfig;
 use vcgp_stress::json;
 use vcgp_stress::mix::Mix;
+use vcgp_stress::router::RoutingPolicy;
 use vcgp_stress::service::{GraphService, QueueFullPolicy, ServiceConfig};
 use vcgp_stress::shard::ShardedGraphService;
 
@@ -73,6 +75,14 @@ fn usage() {
          --executors N     service executor threads (default: cores, max 4)\n  \
          --queue N         service queue capacity, per shard (default 128)\n  \
          --shards N        shard the service N ways (default 1 = unsharded)\n  \
+         --replicas N      replica cores per shard (default 1). Each replica\n                    \
+         is a full queue + executor pool over the SAME\n                    \
+         epoch-pinned shard slice, so answers are identical\n                    \
+         for any replica count; only tail latency changes\n  \
+         --routing P       replica pick within a shard: round-robin\n                    \
+         (seeded, deterministic sequence) | least-loaded\n                    \
+         (smallest queue depth, ties to the lowest replica\n                    \
+         id). Default round-robin\n  \
          --queue-policy P  block (backpressure) | reject (shed) when full\n  \
          --cache-capacity N  result-cache entries per shard core (default 256)\n  \
          --cache-off       disable the result cache (same as capacity 0)\n  \
@@ -83,6 +93,10 @@ fn usage() {
          --mix NAME        points | mixed | analytics | hotspot | scatter\n                    \
          (default points)\n  \
          --seed N          operation-stream seed (default 7)\n  \
+         --zipf-s S        draw point-lookup keys zipfian with exponent S\n                    \
+         (rank 0 = vertex 0 = hottest; composes with the\n                    \
+         hotspot span and range placement). Deterministic\n                    \
+         per (seed, index); omit for the uniform draw\n  \
          --write-ratio R   fraction of stream indices issuing a mutation\n                    \
          instead of a query (0.0..=1.0, default 0).\n                    \
          Passing the flag (even 0) starts the epoch\n                    \
@@ -169,11 +183,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let quiet = args.iter().any(|a| a == "--quiet");
     let name = flag_value(args, "--name").unwrap_or("run");
     let graph = Arc::new(build_graph(args)?);
-    let mix = Mix::preset(flag_value(args, "--mix").unwrap_or("points"), &graph)?;
+    let mut mix = Mix::preset(flag_value(args, "--mix").unwrap_or("points"), &graph)?;
+    if let Some(s) = flag_value(args, "--zipf-s") {
+        mix = mix.with_zipf(parse(s, "--zipf-s")?)?;
+    }
 
     let shards: usize = parse_flag(args, "--shards", 1usize)?;
     if shards < 1 {
         return Err("--shards must be at least 1".to_string());
+    }
+    let replicas: usize = parse_flag(args, "--replicas", 1usize)?;
+    if replicas < 1 {
+        return Err("--replicas must be at least 1".to_string());
     }
     let repeat: usize = parse_flag(args, "--repeat", 1usize)?;
     if repeat < 1 {
@@ -212,6 +233,11 @@ fn run(args: &[String]) -> Result<(), String> {
         seed: parse_flag(args, "--seed", 7u64)?,
         cache_capacity,
         mutations,
+        replicas,
+        routing: flag_value(args, "--routing")
+            .map(RoutingPolicy::parse)
+            .transpose()?
+            .unwrap_or_default(),
         ..ServiceConfig::default()
     };
     let driver_cfg = DriverConfig {
@@ -228,7 +254,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if !quiet {
         println!(
-            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors, {} shard{}",
+            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors, \
+             {} shard{} x {} replica{} ({})",
             graph.num_vertices(),
             graph.num_edges(),
             if graph.is_directed() { "directed" } else { "undirected" },
@@ -238,6 +265,9 @@ fn run(args: &[String]) -> Result<(), String> {
             service_cfg.executors,
             shards,
             if shards == 1 { "" } else { "s" },
+            replicas,
+            if replicas == 1 { "" } else { "s" },
+            service_cfg.routing.label(),
         );
     }
 
@@ -245,7 +275,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // pass 1 warms the result cache, later passes hit it, and the per-pass
     // reports (scoped by the driver's counter baseline) make both the hit
     // counts and the answer hashes comparable.
-    let reports = if shards > 1 {
+    let reports = if shards > 1 || replicas > 1 {
         let service = ShardedGraphService::start(Arc::clone(&graph), service_cfg, shards);
         let reports: Vec<_> = (0..repeat).map(|_| driver::run(&service, &mix, &driver_cfg)).collect();
         service.shutdown();
@@ -311,6 +341,15 @@ fn validate_report(path: &str) -> Result<String, String> {
         }
     }
     let shards = num("shards")?;
+    let replicas = num("replicas")?;
+    if replicas < 1.0 {
+        return Err(format!("{path}: replicas is {replicas} (expected >= 1)"));
+    }
+    match doc.get("routing") {
+        Some(json::Value::String(_)) => {}
+        Some(_) => return Err(format!("{path}: routing is not a string")),
+        None => return Err(format!("{path}: missing \"routing\"")),
+    }
     for key in ["routed", "scattered", "rejects", "early_drops"] {
         num(key)?;
     }
@@ -410,11 +449,55 @@ fn validate_report(path: &str) -> Result<String, String> {
             "early_drops",
             "cache_hits",
             "queue_hwm",
+            "busy_ns",
         ] {
             entry
                 .get(key)
                 .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("{path}: per_shard[{i}] missing {key:?}"))?;
+        }
+        // Per-replica rows: one per replica core, and the shard-level
+        // counters must be exactly the fold of its replicas (completed
+        // sums; queue_hwm is a max over independent queues).
+        let rows = match entry.get("replicas") {
+            Some(json::Value::Array(rows)) => rows,
+            Some(_) => return Err(format!("{path}: per_shard[{i}].replicas is not an array")),
+            None => return Err(format!("{path}: per_shard[{i}] missing \"replicas\"")),
+        };
+        if rows.len() != replicas as usize {
+            return Err(format!(
+                "{path}: per_shard[{i}] has {} replica rows for {} replicas",
+                rows.len(),
+                replicas
+            ));
+        }
+        let mut sum_completed = 0.0;
+        let mut max_hwm = 0.0f64;
+        for (r, row) in rows.iter().enumerate() {
+            for key in ["replica", "completed", "failed", "queue_hwm", "busy_ns"] {
+                row.get(key)
+                    .and_then(json::Value::as_f64)
+                    .ok_or_else(|| {
+                        format!("{path}: per_shard[{i}].replicas[{r}] missing {key:?}")
+                    })?;
+            }
+            sum_completed += row.get("completed").and_then(json::Value::as_f64).unwrap();
+            max_hwm = max_hwm.max(row.get("queue_hwm").and_then(json::Value::as_f64).unwrap());
+        }
+        let shard_completed =
+            entry.get("completed").and_then(json::Value::as_f64).unwrap();
+        if shard_completed != sum_completed {
+            return Err(format!(
+                "{path}: per_shard[{i}].completed is {shard_completed} but replica rows \
+                 sum to {sum_completed}"
+            ));
+        }
+        let shard_hwm = entry.get("queue_hwm").and_then(json::Value::as_f64).unwrap();
+        if shard_hwm != max_hwm {
+            return Err(format!(
+                "{path}: per_shard[{i}].queue_hwm is {shard_hwm} but replica rows max \
+                 to {max_hwm}"
+            ));
         }
     }
     // The top-level drop counters are defined as per-shard sums — hold the

@@ -1,5 +1,12 @@
-//! Per-core result cache: fingerprinted memoization of analytics answers
+//! Per-shard result cache: fingerprinted memoization of analytics answers
 //! and scattered partials.
+//!
+//! One [`ResultCache`] exists per shard and is shared by every replica
+//! core serving that shard. [`CacheKey`] is **replica-agnostic** — it
+//! captures `(workload, fingerprint, seed, scope)` and nothing about which
+//! replica computed or looked up the entry — so an answer inserted via one
+//! replica is a hit no matter where the routing policy sends the repeat,
+//! and the hit/miss counters count each shard-level lookup exactly once.
 //!
 //! Every serving-path answer is a pure function of
 //! `(workload, graph, seed)` (see [`vcgp_core::service::run_workload`]) and

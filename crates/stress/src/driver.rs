@@ -14,7 +14,9 @@
 //! from each response's [`Route`] and record the gather straggler penalty
 //! of scattered operations; at the end of the run the target's per-shard
 //! snapshots contribute occupancy (queue high-water marks), rejects, early
-//! drops, and result-cache hit counts to the report.
+//! drops, and result-cache hit counts to the report — plus one row per
+//! replica core (completed, queue high-water mark, executor busy time), so
+//! a replicated hot shard's load split is visible directly.
 //!
 //! **Run scoping.** Service counters are monotone for the process, but one
 //! process can host several driver runs (the bin's `--repeat`, the cache
@@ -34,7 +36,7 @@ use crate::mix::Mix;
 use crate::rate::TokenBucket;
 use crate::request::{QueryError, QueryOutput, QueryRequest, Route};
 use crate::router::StressTarget;
-use crate::service::{ShardSnapshot, SubmitError};
+use crate::service::{ReplicaSnapshot, ShardSnapshot, SubmitError};
 use vcgp_core::service::Partial;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -137,6 +139,10 @@ pub struct StressReport {
     pub burst: u32,
     /// Shards of the target service (1 = unsharded).
     pub shards: usize,
+    /// Replica cores per shard (1 = unreplicated).
+    pub replicas: usize,
+    /// Replica-routing policy label (`round-robin` / `least-loaded`).
+    pub routing: String,
     /// Wall-clock time actually spent.
     pub elapsed: Duration,
     /// Operations completed (ok + errored).
@@ -239,10 +245,26 @@ impl StressReport {
             .per_shard
             .iter()
             .map(|s| {
+                let replicas = s
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"replica\": {}, \"completed\": {}, \"failed\": {}, \
+                             \"queue_hwm\": {}, \"busy_ns\": {}}}",
+                            r.replica,
+                            r.stats.completed,
+                            r.stats.failed,
+                            r.stats.queue_hwm,
+                            r.stats.busy_ns
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 format!(
                     "{{\"shard\": {}, \"owned\": {}, \"completed\": {}, \"failed\": {}, \
                      \"rejects\": {}, \"early_drops\": {}, \"cache_hits\": {}, \
-                     \"queue_hwm\": {}}}",
+                     \"queue_hwm\": {}, \"busy_ns\": {}, \"replicas\": [{}]}}",
                     s.shard,
                     s.owned,
                     s.stats.completed,
@@ -250,7 +272,9 @@ impl StressReport {
                     s.stats.rejected,
                     s.stats.early_drops,
                     s.stats.cache_hits,
-                    s.stats.queue_hwm
+                    s.stats.queue_hwm,
+                    s.stats.busy_ns,
+                    replicas
                 )
             })
             .collect::<Vec<_>>()
@@ -283,7 +307,8 @@ impl StressReport {
         );
         format!(
             "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
-             \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"elapsed_s\": {:.3},\n  \
+             \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"replicas\": {},\n  \
+             \"routing\": \"{}\",\n  \"elapsed_s\": {:.3},\n  \
              \"ops\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \
              \"timeouts\": {},\n  \"retries\": {},\n  \"routed\": {},\n  \"scattered\": {},\n  \
              \"rejects\": {},\n  \"early_drops\": {},\n  \"writes\": {},\n  \
@@ -298,6 +323,8 @@ impl StressReport {
             self.rate.map_or("null".to_string(), |r| format!("{r:.1}")),
             self.burst,
             self.shards,
+            self.replicas,
+            json_escape(&self.routing),
             self.elapsed.as_secs_f64(),
             self.ops,
             self.ok,
@@ -328,7 +355,8 @@ impl StressReport {
         let mut out = String::new();
         out.push_str(&format!("# Stress run: {name}\n\n"));
         out.push_str(&format!(
-            "mix `{}`, seed {}, {} clients, rate {}, burst {}, {} shard{}\n\n",
+            "mix `{}`, seed {}, {} clients, rate {}, burst {}, {} shard{} × {} replica{} \
+             ({} routing)\n\n",
             self.mix,
             self.seed,
             self.clients,
@@ -336,7 +364,10 @@ impl StressReport {
                 .map_or("unthrottled".to_string(), |r| format!("{r:.0}/s")),
             self.burst,
             self.shards,
-            if self.shards == 1 { "" } else { "s" }
+            if self.shards == 1 { "" } else { "s" },
+            self.replicas,
+            if self.replicas == 1 { "" } else { "s" },
+            self.routing
         ));
         out.push_str("| metric | value |\n|---|---|\n");
         out.push_str(&format!("| elapsed | {:.2} s |\n", self.elapsed.as_secs_f64()));
@@ -401,11 +432,11 @@ impl StressReport {
         if !self.per_shard.is_empty() {
             out.push_str(
                 "\n| shard | owned | completed | failed | rejects | early drops | cache hits | \
-                 queue hwm |\n|---|---|---|---|---|---|---|---|\n",
+                 queue hwm | busy ms |\n|---|---|---|---|---|---|---|---|---|\n",
             );
             for s in &self.per_shard {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} |\n",
                     s.shard,
                     s.owned,
                     s.stats.completed,
@@ -413,8 +444,32 @@ impl StressReport {
                     s.stats.rejected,
                     s.stats.early_drops,
                     s.stats.cache_hits,
-                    s.stats.queue_hwm
+                    s.stats.queue_hwm,
+                    ms(s.stats.busy_ns)
                 ));
+            }
+            out.push_str(
+                "\n| shard | replica | completed | failed | queue hwm | busy ms | \
+                 mean service ms |\n|---|---|---|---|---|---|---|\n",
+            );
+            for s in &self.per_shard {
+                for r in &s.replicas {
+                    let mean = if r.stats.completed > 0 {
+                        r.stats.busy_ns as f64 / r.stats.completed as f64 / 1e6
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} | {} | {:.3} | {:.4} |\n",
+                        s.shard,
+                        r.replica,
+                        r.stats.completed,
+                        r.stats.failed,
+                        r.stats.queue_hwm,
+                        ms(r.stats.busy_ns),
+                        mean
+                    ));
+                }
             }
         }
         out
@@ -501,6 +556,17 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
             shard: now.shard,
             owned: now.owned,
             stats: now.stats.delta_since(&before.stats),
+            // Replica sets are fixed for the life of a service, so the
+            // baseline zips by position.
+            replicas: now
+                .replicas
+                .iter()
+                .zip(&before.replicas)
+                .map(|(rn, rb)| ReplicaSnapshot {
+                    replica: rn.replica,
+                    stats: rn.stats.delta_since(&rb.stats),
+                })
+                .collect(),
         })
         .collect();
     let rejects = per_shard.iter().map(|s| s.stats.rejected).sum();
@@ -516,6 +582,8 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         rate: cfg.rate,
         burst: cfg.burst,
         shards: target.num_shards(),
+        replicas: target.replicas_per_shard(),
+        routing: target.routing_label().to_string(),
         elapsed,
         ops: total.ops,
         ok: total.ok,

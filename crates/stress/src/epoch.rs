@@ -24,6 +24,13 @@
 //!   submissions pick up the fresh one. Old snapshots die when the last
 //!   pinned request drops its `Arc`.
 //!
+//! Replicated shards change nothing about versioning: every replica core of
+//! a shard serves the same `Arc<EpochSnapshot>` and shard slice, a swap
+//! installs the new snapshot once per *shard* (replicas observe it through
+//! the shared pointer, never one replica at a time), and the invalidation
+//! hook fires once per shard cache — replicas share that cache, so there is
+//! no per-replica staleness window for the routing policy to expose.
+//!
 //! Cache correctness is belt *and* suspenders: every epoch recomputes the
 //! order-independent graph/leg fingerprints, so a stale entry can never
 //! alias a new epoch's answer even without invalidation — the invalidation

@@ -17,10 +17,12 @@
 //!   early drops, and graceful draining shutdown;
 //! * [`shard`] + [`router`] — the sharded service:
 //!   [`shard::ShardedGraphService`] splits vertex ownership across S
-//!   shard-local cores (placement via the engine's partitioner, so
-//!   `VCGP_PARTITIONING` applies) and the router owner-routes point
-//!   lookups, scatters gather-mergeable analytics with typed partial
-//!   merges, and falls back to a primary shard for the rest;
+//!   shards, each running `R ≥ 1` replica cores over the same slice
+//!   (placement via the engine's partitioner, so `VCGP_PARTITIONING`
+//!   applies) and the router owner-routes point lookups, scatters
+//!   gather-mergeable analytics with typed partial merges, falls back to a
+//!   primary shard for the rest, and picks replicas by a pluggable policy
+//!   (seeded round-robin or least-loaded queue depth);
 //! * [`cache`] — the per-core result cache: a capacity-bounded, segmented
 //!   LRU memoizing `(workload, graph fingerprint, seed) → answer` for whole
 //!   analytics answers *and* scattered per-shard partials, with
@@ -62,11 +64,12 @@ pub use driver::{run, DriverConfig, StressReport};
 pub use epoch::{
     mutation_op, EpochSnapshot, MutationConfig, ShardSlice, WriterReport, WriterStats,
 };
-pub use mix::Mix;
+pub use mix::{Mix, Zipf};
 pub use rate::TokenBucket;
 pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
-pub use router::{AnyTicket, GatherTicket, StressTarget};
+pub use router::{AnyTicket, GatherTicket, RoutingPolicy, StressTarget};
 pub use service::{
-    GraphService, QueueFullPolicy, ServiceConfig, ServiceStats, ShardSnapshot, SubmitError, Ticket,
+    GraphService, QueueFullPolicy, ReplicaSnapshot, ServiceConfig, ServiceStats, ShardSnapshot,
+    SubmitError, Ticket,
 };
 pub use shard::ShardedGraphService;

@@ -186,10 +186,13 @@ pub enum Route {
     /// Answered by a single-instance service (or a non-sharded path).
     #[default]
     Direct,
-    /// Owner-routed to exactly one shard.
+    /// Owner-routed to exactly one shard (and one replica core within it).
     Routed {
         /// The shard that served the request.
         shard: u32,
+        /// The replica core within the shard the routing policy picked
+        /// (always 0 when the shard is unreplicated).
+        replica: u32,
     },
     /// Scattered to every shard and gather-merged.
     Scattered {

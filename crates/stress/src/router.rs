@@ -22,6 +22,16 @@
 //! requests, the straggler penalty ([`QueryResponse::gather_wait`]), so
 //! load drivers can report routed-vs-scattered traffic and gather latency
 //! without asking the service.
+//!
+//! **Replica routing.** When a shard runs more than one replica core
+//! ([`crate::service::ServiceConfig::replicas`]), every dispatch that
+//! lands on a shard — owner-routed lookups, each scattered leg, the
+//! primary-shard whole run, and the debug spread — additionally picks a
+//! replica by the service's [`RoutingPolicy`]: `round-robin` walks the
+//! shard's replicas from a seeded offset, `least-loaded` picks the replica
+//! with the smallest queue-depth gauge (ties broken by the lowest replica
+//! id). Replicas serve the same epoch-pinned snapshot and share the
+//! shard's result cache, so the pick affects latency only, never answers.
 
 use crate::epoch::{WriterReport, WriterStats};
 use crate::request::{
@@ -32,6 +42,44 @@ use crate::shard::ShardedGraphService;
 use std::time::{Duration, Instant};
 use vcgp_core::service::{gather_mode, GatherMode, Partial};
 use vcgp_graph::Mutation;
+
+/// How the router picks a replica core within a shard. Irrelevant (and
+/// unobservable beyond [`Route::Routed`]'s replica field) when every shard
+/// runs a single replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Walk the shard's replicas in order from a per-shard seeded offset —
+    /// deterministic dispatch *sequence* per shard, uniform in the long
+    /// run, oblivious to load.
+    #[default]
+    RoundRobin,
+    /// Pick the replica with the smallest instantaneous queue depth, ties
+    /// broken by the lowest replica id — the load-aware policy that steers
+    /// new work away from a replica stuck behind a slow request.
+    LeastLoaded,
+}
+
+impl RoutingPolicy {
+    /// Parses a policy name (`round-robin` / `least-loaded`,
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Result<RoutingPolicy, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "round-robin" => Ok(RoutingPolicy::RoundRobin),
+            "least-loaded" => Ok(RoutingPolicy::LeastLoaded),
+            other => Err(format!(
+                "unknown routing policy {other:?} (expected round-robin or least-loaded)"
+            )),
+        }
+    }
+
+    /// The canonical name, as accepted by [`RoutingPolicy::parse`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+}
 
 /// A pending response from either a single queue or a scattered fan-out.
 pub enum AnyTicket {
@@ -182,9 +230,10 @@ impl ShardedGraphService {
         match req.kind {
             QueryKind::Degree(v) | QueryKind::Neighbors(v) => {
                 let shard = self.owner(v);
+                let (ticket, replica) = self.shards[shard].submit(self.routing, req)?;
                 Ok(AnyTicket::Single {
-                    ticket: self.shards[shard].core.submit(req)?,
-                    route: Route::Routed { shard: shard as u32 },
+                    ticket,
+                    route: Route::Routed { shard: shard as u32, replica },
                 })
             }
             QueryKind::Workload(w)
@@ -197,23 +246,25 @@ impl ShardedGraphService {
                     .map(|sh| {
                         let mut leg = req.clone();
                         leg.kind = QueryKind::WorkloadPartial(w);
-                        sh.core.submit(leg)
+                        sh.submit(self.routing, leg).map(|(ticket, _)| ticket)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(AnyTicket::Scattered(GatherTicket { id, legs }))
             }
             QueryKind::Workload(_) | QueryKind::WorkloadPartial(_) => {
                 let shard = self.primary;
+                let (ticket, replica) = self.shards[shard].submit(self.routing, req)?;
                 Ok(AnyTicket::Single {
-                    ticket: self.shards[shard].core.submit(req)?,
-                    route: Route::Routed { shard: shard as u32 },
+                    ticket,
+                    route: Route::Routed { shard: shard as u32, replica },
                 })
             }
             QueryKind::DebugSleep(_) | QueryKind::DebugPanic => {
                 let shard = (req.id % self.shards.len() as u64) as usize;
+                let (ticket, replica) = self.shards[shard].submit(self.routing, req)?;
                 Ok(AnyTicket::Single {
-                    ticket: self.shards[shard].core.submit(req)?,
-                    route: Route::Routed { shard: shard as u32 },
+                    ticket,
+                    route: Route::Routed { shard: shard as u32, replica },
                 })
             }
         }
@@ -229,6 +280,14 @@ pub trait StressTarget: Sync {
     fn submit_op(&self, req: QueryRequest) -> Result<AnyTicket, SubmitError>;
     /// Number of shards (1 for a single-instance service).
     fn num_shards(&self) -> usize;
+    /// Replica cores per shard (1 for a single-instance service).
+    fn replicas_per_shard(&self) -> usize {
+        1
+    }
+    /// The replica-routing policy's report label.
+    fn routing_label(&self) -> &'static str {
+        RoutingPolicy::RoundRobin.label()
+    }
     /// Per-shard identity + counters.
     fn shard_snapshots(&self) -> Vec<ShardSnapshot>;
     /// Submits one mutation to the write buffer. The default target is
@@ -262,11 +321,7 @@ impl StressTarget for GraphService {
     }
 
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
-        vec![ShardSnapshot {
-            shard: 0,
-            owned: self.epoch().graph.num_vertices(),
-            stats: self.stats(),
-        }]
+        vec![self.shard_snapshot()]
     }
 
     fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
@@ -289,6 +344,14 @@ impl StressTarget for ShardedGraphService {
 
     fn num_shards(&self) -> usize {
         self.num_shards()
+    }
+
+    fn replicas_per_shard(&self) -> usize {
+        self.replicas_per_shard()
+    }
+
+    fn routing_label(&self) -> &'static str {
+        self.routing.label()
     }
 
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {

@@ -11,8 +11,9 @@
 //! The queue + executor machinery lives in the crate-internal [`Core`],
 //! parameterized by an execution backend. [`GraphService`] is one core over
 //! the full resident graph; the sharded service
-//! ([`crate::shard::ShardedGraphService`]) runs one core per shard, each
-//! over its own vertex slice.
+//! ([`crate::shard::ShardedGraphService`]) runs `R ≥ 1` replica cores per
+//! shard, each over the same vertex slice (see
+//! [`ServiceConfig::replicas`]).
 //!
 //! Failure handling:
 //! * attempts whose execution exceeds the request's per-attempt timeout are
@@ -30,12 +31,14 @@
 //!   executors drain everything already accepted, so no accepted request
 //!   loses its response.
 //!
-//! Result caching: each core owns a [`ResultCache`] (unless
-//! [`ServiceConfig::cache_capacity`] is zero). [`Core::submit`] consults it
-//! *before* enqueueing — a hit is answered immediately from the memoized
-//! `(workload, graph fingerprint, seed)` entry without consuming a queue
-//! slot or an executor — and executors insert every freshly computed
-//! workload answer (whole or scattered leg) on completion.
+//! Result caching: each shard shares one [`ResultCache`] across its
+//! replica cores (unless [`ServiceConfig::cache_capacity`] is zero).
+//! [`Core::submit`] consults it *before* enqueueing — a hit is answered
+//! immediately from the memoized `(workload, graph fingerprint, seed)`
+//! entry without consuming a queue slot or an executor — and executors
+//! insert every freshly computed workload answer (whole or scattered leg)
+//! on completion. Keys carry no replica identity, so an answer computed on
+//! any replica serves every replica of the shard.
 
 use crate::cache::{CacheKey, CacheScope, CachedAnswer, ResultCache};
 use crate::epoch::{
@@ -43,9 +46,10 @@ use crate::epoch::{
     WriterStats,
 };
 use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
+use crate::router::RoutingPolicy;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -113,6 +117,15 @@ pub struct ServiceConfig {
     /// [`SubmitError::ReadOnly`], no writer thread is spawned, and queries
     /// always serve epoch 0.
     pub mutations: Option<MutationConfig>,
+    /// Replica cores per shard (sharded service only; the single-instance
+    /// service always runs one core). Each replica is a full
+    /// queue-plus-executor-pool [`Core`] over the *same* epoch-pinned
+    /// snapshot and shard slice, so replicating a hot shard costs queue
+    /// state, not graph copies.
+    pub replicas: usize,
+    /// How the router picks a replica within a shard (sharded service
+    /// only). See [`RoutingPolicy`].
+    pub routing: RoutingPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +143,8 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             engine: PregelConfig::single_worker(),
             mutations: None,
+            replicas: 1,
+            routing: RoutingPolicy::RoundRobin,
         }
     }
 }
@@ -182,6 +197,11 @@ pub struct ServiceStats {
     /// High-water mark of the queue depth (pending requests) since start —
     /// the occupancy gauge behind the stress report's per-shard column.
     pub queue_hwm: u64,
+    /// Nanoseconds executors spent inside attempts (queueing and backoff
+    /// excluded), summed across the core's executor threads — divided by
+    /// `completed` this is the per-replica mean-service-latency column of
+    /// the stress report.
+    pub busy_ns: u64,
     /// Result-cache lookups answered without running the engine.
     pub cache_hits: u64,
     /// Result-cache lookups that found nothing (cacheable requests only).
@@ -209,6 +229,7 @@ impl ServiceStats {
         self.rejected += other.rejected;
         self.early_drops += other.early_drops;
         self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+        self.busy_ns += other.busy_ns;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_insertions += other.cache_insertions;
@@ -230,6 +251,7 @@ impl ServiceStats {
             rejected: self.rejected - earlier.rejected,
             early_drops: self.early_drops - earlier.early_drops,
             queue_hwm: self.queue_hwm,
+            busy_ns: self.busy_ns - earlier.busy_ns,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_insertions: self.cache_insertions - earlier.cache_insertions,
@@ -239,19 +261,51 @@ impl ServiceStats {
     }
 }
 
-/// One shard's identity and counters, as reported to the stress driver.
+/// One replica core's identity and counters within a shard. The cache
+/// fields of `stats` are always zero here: the result cache is shared by
+/// every replica of a shard (a hit on any replica serves the shard), so
+/// its counters appear once at the shard level, never per replica.
 #[derive(Debug, Clone, Copy)]
+pub struct ReplicaSnapshot {
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// The replica core's counters.
+    pub stats: ServiceStats,
+}
+
+/// One shard's identity and counters, as reported to the stress driver.
+/// `stats` folds every replica core (sums; queue high-water marks take the
+/// maximum) plus the shard-shared result cache's counters.
+#[derive(Debug, Clone)]
 pub struct ShardSnapshot {
     /// Shard index (0 for a single-instance service).
     pub shard: usize,
     /// Vertices this shard owns.
     pub owned: usize,
-    /// The shard core's counters.
+    /// The shard's counters, folded across replicas.
     pub stats: ServiceStats,
+    /// Per-replica counters (one entry even when unreplicated).
+    pub replicas: Vec<ReplicaSnapshot>,
 }
 
+/// Submit-side counter stripes appended after the per-executor slots, so
+/// client threads bumping rejects/cache-hit counters do not contend with
+/// executors (or each other, up to this many concurrent submitters).
+const SUBMIT_STRIPES: usize = 8;
+
+static NEXT_SUBMIT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each submitting thread claims one stripe on first use and keeps it.
+    static SUBMIT_STRIPE: usize =
+        NEXT_SUBMIT_STRIPE.fetch_add(1, Ordering::Relaxed) % SUBMIT_STRIPES;
+}
+
+/// One cache-line-padded stripe of the hot service counters. 128 bytes
+/// covers the spatial-prefetcher pair of 64-byte lines on x86.
 #[derive(Default)]
-struct Counters {
+#[repr(align(128))]
+struct CounterSlot {
     completed: AtomicU64,
     failed: AtomicU64,
     retries: AtomicU64,
@@ -259,6 +313,42 @@ struct Counters {
     panics: AtomicU64,
     rejected: AtomicU64,
     early_drops: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// The hot counters, striped so executor threads never share a cache line:
+/// executor `i` writes `slots[i]` exclusively, submit-side paths write one
+/// of the trailing [`SUBMIT_STRIPES`] slots, and reads sum every stripe.
+struct Counters {
+    slots: Box<[CounterSlot]>,
+}
+
+impl Counters {
+    fn new(executors: usize) -> Counters {
+        Counters {
+            slots: (0..executors + SUBMIT_STRIPES)
+                .map(|_| CounterSlot::default())
+                .collect(),
+        }
+    }
+
+    /// The executor thread `i`'s private stripe.
+    fn executor_slot(&self, i: usize) -> &CounterSlot {
+        &self.slots[i]
+    }
+
+    /// The calling (submitting) thread's stripe.
+    fn submit_slot(&self) -> &CounterSlot {
+        let first = self.slots.len() - SUBMIT_STRIPES;
+        &self.slots[first + SUBMIT_STRIPE.with(|s| *s)]
+    }
+
+    fn sum(&self, field: impl Fn(&CounterSlot) -> &AtomicU64) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| field(s).load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 struct Job {
@@ -280,8 +370,10 @@ struct Shared {
     not_full: Condvar,
     capacity: usize,
     counters: Counters,
-    /// The core's result cache; `None` when `cache_capacity` is zero.
-    cache: Option<ResultCache>,
+    /// The core's result cache; `None` when caching is disabled. Shared
+    /// (`Arc`) across every replica core of a shard, so keys stay
+    /// replica-agnostic and a hit on any replica serves the shard.
+    cache: Option<Arc<ResultCache>>,
 }
 
 /// How an executor turns a dequeued request into an output. Implemented by
@@ -383,10 +475,15 @@ pub(crate) struct Core {
 }
 
 impl Core {
+    /// Spawns the executor pool over `backend`. `cache` is the result
+    /// cache this core consults and fills — pass the *same* [`Arc`] to
+    /// every replica core of a shard so the cache is shard-scoped (build
+    /// it with [`service_cache`]).
     pub(crate) fn start(
         backend: Arc<dyn ExecBackend>,
         config: &ServiceConfig,
         thread_label: &str,
+        cache: Option<Arc<ResultCache>>,
     ) -> Core {
         assert!(config.executors >= 1, "need at least one executor");
         assert!(config.queue_capacity >= 1, "queue capacity must be positive");
@@ -400,8 +497,8 @@ impl Core {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: config.queue_capacity,
-            counters: Counters::default(),
-            cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
+            counters: Counters::new(config.executors),
+            cache,
         });
         let workers = (0..config.executors)
             .map(|i| {
@@ -410,7 +507,7 @@ impl Core {
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("vcgp-stress-{thread_label}-{i}"))
-                    .spawn(move || executor_loop(&*backend, &shared, &config))
+                    .spawn(move || executor_loop(&*backend, &shared, &config, i))
                     .expect("spawn executor")
             })
             .collect();
@@ -429,7 +526,11 @@ impl Core {
         let cache = self.shared.cache.as_ref()?;
         let key = self.backend.cache_key(req)?;
         let value = cache.get(&key)?;
-        self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .submit_slot()
+            .completed
+            .fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let _ = tx.send(QueryResponse {
             id: req.id,
@@ -472,8 +573,9 @@ impl Core {
                 }
                 QueueFullPolicy::Reject => {
                     drop(state);
-                    self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    self.shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let slot = self.shared.counters.submit_slot();
+                    slot.rejected.fetch_add(1, Ordering::Relaxed);
+                    slot.failed.fetch_add(1, Ordering::Relaxed);
                     let (tx, rx) = mpsc::channel();
                     let _ = tx.send(failure_response(req.id, QueryError::Rejected));
                     return Ok(Ticket { id: req.id, rx });
@@ -538,41 +640,25 @@ impl Core {
         }
     }
 
+    /// The core's counters, summed across stripes. The cache fields are
+    /// always zero here: the result cache is shared across a shard's
+    /// replicas, so its counters are overlaid once per shard (or per
+    /// single-instance service) with [`overlay_cache`] — never per core,
+    /// which would multiply them by the replica count.
     pub(crate) fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
         let hwm = self.shared.state.lock().unwrap().depth_hwm;
-        let cache = self.shared.cache.as_ref().map(ResultCache::stats).unwrap_or_default();
         ServiceStats {
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            panics: c.panics.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            early_drops: c.early_drops.load(Ordering::Relaxed),
+            completed: c.sum(|s| &s.completed),
+            failed: c.sum(|s| &s.failed),
+            retries: c.sum(|s| &s.retries),
+            timeouts: c.sum(|s| &s.timeouts),
+            panics: c.sum(|s| &s.panics),
+            rejected: c.sum(|s| &s.rejected),
+            early_drops: c.sum(|s| &s.early_drops),
             queue_hwm: hwm as u64,
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_insertions: cache.insertions,
-            cache_evictions: cache.evictions,
-            cache_bytes: cache.resident_bytes,
-        }
-    }
-
-    /// Drops every result-cache entry (no-op when caching is disabled) —
-    /// the invalidation hook a graph swap or re-shard must fire.
-    pub(crate) fn invalidate_cache(&self) {
-        if let Some(cache) = &self.shared.cache {
-            cache.invalidate_all();
-        }
-    }
-
-    /// A detachable handle to this core's cache-invalidation hook, so the
-    /// epoch writer thread can fire it at each swap without holding a
-    /// reference to the core itself.
-    pub(crate) fn invalidator(&self) -> CacheInvalidator {
-        CacheInvalidator {
-            shared: Arc::clone(&self.shared),
+            busy_ns: c.sum(|s| &s.busy_ns),
+            ..ServiceStats::default()
         }
     }
 
@@ -581,15 +667,37 @@ impl Core {
     }
 }
 
-/// An owned handle to one core's result-cache invalidation (see
-/// [`Core::invalidator`]).
+/// Builds the result cache a [`Core`] (or a shard's set of replica cores)
+/// will share; `None` when `cache_capacity` is zero.
+pub(crate) fn service_cache(config: &ServiceConfig) -> Option<Arc<ResultCache>> {
+    (config.cache_capacity > 0).then(|| Arc::new(ResultCache::new(config.cache_capacity)))
+}
+
+/// Copies a shared cache's counters into `stats`'s cache fields (see
+/// [`Core::stats`] for why they live apart from the core counters).
+pub(crate) fn overlay_cache(stats: &mut ServiceStats, cache: Option<&ResultCache>) {
+    let c = cache.map(ResultCache::stats).unwrap_or_default();
+    stats.cache_hits = c.hits;
+    stats.cache_misses = c.misses;
+    stats.cache_insertions = c.insertions;
+    stats.cache_evictions = c.evictions;
+    stats.cache_bytes = c.resident_bytes;
+}
+
+/// An owned handle to one result cache's invalidation hook, so the epoch
+/// writer thread can fire it at each swap without holding a reference to
+/// any core. One per shard — the cache is shared by the shard's replicas.
 pub(crate) struct CacheInvalidator {
-    shared: Arc<Shared>,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl CacheInvalidator {
+    pub(crate) fn new(cache: Option<Arc<ResultCache>>) -> CacheInvalidator {
+        CacheInvalidator { cache }
+    }
+
     pub(crate) fn invalidate(&self) {
-        if let Some(cache) = &self.shared.cache {
+        if let Some(cache) = &self.cache {
             cache.invalidate_all();
         }
     }
@@ -686,6 +794,9 @@ pub(crate) fn workload_cache_key(
 pub struct GraphService {
     graph: Arc<Graph>,
     core: Core,
+    /// The core's result cache (held here too for stats overlay and
+    /// invalidation; see [`Core::stats`]).
+    cache: Option<Arc<ResultCache>>,
     epochs: Arc<EpochManager>,
     /// The epoch writer thread; `None` when the service is read-only.
     writer: Option<JoinHandle<()>>,
@@ -708,18 +819,20 @@ impl GraphService {
         let backend = Arc::new(FullGraphBackend {
             base: epochs.current(),
         });
-        let core = Core::start(backend, &config, "exec");
+        let cache = service_cache(&config);
+        let core = Core::start(backend, &config, "exec", cache.clone());
         let writer = config.mutations.is_some().then(|| {
             spawn_writer(
                 Arc::clone(&epochs),
                 Box::new(FullGraphRebuild {
-                    invalidator: core.invalidator(),
+                    invalidator: CacheInvalidator::new(cache.clone()),
                 }),
             )
         });
         GraphService {
             graph,
             core,
+            cache,
             epochs,
             writer,
         }
@@ -811,19 +924,38 @@ impl GraphService {
         }
         self.core.close();
         self.core.join();
-        self.core.stats()
+        self.stats()
     }
 
-    /// A snapshot of the cumulative counters.
+    /// A snapshot of the cumulative counters (cache counters included).
     pub fn stats(&self) -> ServiceStats {
-        self.core.stats()
+        let mut stats = self.core.stats();
+        overlay_cache(&mut stats, self.cache.as_deref());
+        stats
+    }
+
+    /// The single-shard view of this service for the stress driver: one
+    /// shard row (cache counters overlaid) carrying one replica row (raw
+    /// core counters).
+    pub(crate) fn shard_snapshot(&self) -> ShardSnapshot {
+        let raw = self.core.stats();
+        let mut stats = raw;
+        overlay_cache(&mut stats, self.cache.as_deref());
+        ShardSnapshot {
+            shard: 0,
+            owned: self.epoch().graph.num_vertices(),
+            stats,
+            replicas: vec![ReplicaSnapshot { replica: 0, stats: raw }],
+        }
     }
 
     /// Drops every result-cache entry. The invalidation hook that any
     /// future graph swap must fire before serving against the new graph
     /// (a no-op when caching is disabled).
     pub fn invalidate_cache(&self) {
-        self.core.invalidate_cache();
+        if let Some(cache) = &self.cache {
+            cache.invalidate_all();
+        }
     }
 
     /// Requests currently waiting in the queue.
@@ -844,7 +976,8 @@ impl Drop for GraphService {
     }
 }
 
-fn executor_loop(backend: &dyn ExecBackend, shared: &Shared, config: &ServiceConfig) {
+fn executor_loop(backend: &dyn ExecBackend, shared: &Shared, config: &ServiceConfig, index: usize) {
+    let slot = shared.counters.executor_slot(index);
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
@@ -859,11 +992,11 @@ fn executor_loop(backend: &dyn ExecBackend, shared: &Shared, config: &ServiceCon
             }
         };
         shared.not_full.notify_one();
-        let response = serve(backend, shared, config, &job.req, job.enqueued_at);
+        let response = serve(backend, shared, config, &job.req, job.enqueued_at, slot);
         if response.result.is_ok() {
-            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            slot.completed.fetch_add(1, Ordering::Relaxed);
         } else {
-            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            slot.failed.fetch_add(1, Ordering::Relaxed);
         }
         // The caller may have dropped its ticket; that is fine.
         let _ = job.tx.send(response);
@@ -878,6 +1011,7 @@ fn serve(
     config: &ServiceConfig,
     req: &QueryRequest,
     enqueued_at: Instant,
+    slot: &CounterSlot,
 ) -> QueryResponse {
     let started = Instant::now();
     let queue_wait = started.duration_since(enqueued_at);
@@ -889,13 +1023,13 @@ fn serve(
             if attempts == 0 {
                 // Dead on arrival: dropped without consuming an execution
                 // slot — counted apart from timeouts, which ran and lost.
-                shared.counters.early_drops.fetch_add(1, Ordering::Relaxed);
+                slot.early_drops.fetch_add(1, Ordering::Relaxed);
             }
             break Err(QueryError::DeadlineExceeded);
         }
         attempts += 1;
         if attempts > 1 {
-            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            slot.retries.fetch_add(1, Ordering::Relaxed);
         }
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -905,7 +1039,7 @@ fn serve(
         service_time += elapsed;
         match outcome {
             Err(payload) => {
-                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                slot.panics.fetch_add(1, Ordering::Relaxed);
                 break Err(QueryError::Panicked(panic_message(&*payload)));
             }
             Ok(Err(e)) => break Err(e), // permanent: retrying cannot help
@@ -924,7 +1058,7 @@ fn serve(
                 if elapsed <= req.timeout {
                     break Ok(output);
                 }
-                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                slot.timeouts.fetch_add(1, Ordering::Relaxed);
                 if attempts >= config.max_attempts {
                     break Err(QueryError::Timeout { attempts });
                 }
@@ -938,6 +1072,8 @@ fn serve(
             }
         }
     };
+    slot.busy_ns
+        .fetch_add(service_time.as_nanos() as u64, Ordering::Relaxed);
     QueryResponse {
         id: req.id,
         result,

@@ -33,19 +33,29 @@
 //! never invalidated (vertex removal detaches but never shrinks the id
 //! space for the same reason).
 //!
-//! Each shard runs its own [`Core`]: its own bounded queue, executor pool,
-//! counters, and queue-depth high-water mark, so per-shard occupancy is
-//! observable ([`ShardedGraphService::shard_snapshots`]).
+//! Each shard runs `R ≥ 1` **replica cores** ([`Core`]: bounded queue,
+//! executor pool, striped counters, queue-depth high-water mark) over the
+//! *same* epoch-pinned snapshot and shard slice — replicating a hot shard
+//! costs queue/executor state, not graph copies. The router picks a
+//! replica per dispatch via the configured
+//! [`RoutingPolicy`](crate::router::RoutingPolicy); all replicas of a
+//! shard share one result cache (keys are replica-agnostic), epoch swaps
+//! fan the invalidation out once per shard, and teardown drains then joins
+//! every replica core. Per-shard *and* per-replica occupancy is observable
+//! ([`ShardedGraphService::shard_snapshots`]).
 
-use crate::cache::CacheKey;
+use crate::cache::{CacheKey, ResultCache};
 use crate::epoch::{
     spawn_writer, EpochManager, EpochRebuild, EpochSnapshot, ShardSlice, WriterReport, WriterStats,
 };
 use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest};
+use crate::router::RoutingPolicy;
 use crate::service::{
-    execute_on_full_graph, workload_cache_key, CacheInvalidator, Core, ExecBackend, ServiceConfig,
-    ServiceStats, ShardSnapshot, SubmitError,
+    execute_on_full_graph, overlay_cache, service_cache, workload_cache_key, CacheInvalidator,
+    Core, ExecBackend, ReplicaSnapshot, ServiceConfig, ServiceStats, ShardSnapshot, SubmitError,
+    Ticket,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use vcgp_core::fingerprint::{graph_fingerprint, leg_fingerprint};
@@ -60,6 +70,9 @@ const OWNS_STREAM: u64 = 0x4F57_4E53; // "OWNS"
 
 /// Domain separator folding the slice fingerprint into the leg identity.
 const SLICE_STREAM: u64 = 0x534C_4943; // "SLIC"
+
+/// Domain separator seeding each shard's round-robin replica cursor.
+const RR_STREAM: u64 = 0x5252_4F54; // "RROT"
 
 /// Builds shard `shard`'s local subgraph: a directed graph over the full
 /// vertex-id space containing exactly the out-arcs of owned vertices (with
@@ -272,8 +285,81 @@ impl ExecBackend for ShardBackend {
     }
 }
 
+/// One shard: `R ≥ 1` replica cores over the same slice, the shard-shared
+/// result cache, and the round-robin replica cursor.
 pub(crate) struct Shard {
-    pub(crate) core: Core,
+    pub(crate) replicas: Vec<Core>,
+    /// The result cache shared by every replica core (counters overlaid
+    /// once per shard in [`Shard::snapshot`]).
+    cache: Option<Arc<ResultCache>>,
+    /// Round-robin cursor, seeded per shard so the dispatch sequence is
+    /// deterministic for a fixed [`ServiceConfig::seed`].
+    next_rr: AtomicU64,
+}
+
+impl Shard {
+    /// Picks a replica for the next dispatch under `policy`.
+    fn pick(&self, policy: RoutingPolicy) -> usize {
+        if self.replicas.len() == 1 {
+            return 0;
+        }
+        match policy {
+            RoutingPolicy::RoundRobin => {
+                (self.next_rr.fetch_add(1, Ordering::Relaxed) % self.replicas.len() as u64) as usize
+            }
+            RoutingPolicy::LeastLoaded => {
+                let mut best = 0usize;
+                let mut best_depth = usize::MAX;
+                for (r, core) in self.replicas.iter().enumerate() {
+                    let depth = core.queue_depth();
+                    if depth < best_depth {
+                        best = r;
+                        best_depth = depth;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Picks a replica and submits, returning the ticket plus the pick
+    /// (echoed in [`crate::request::Route::Routed`]). A shared-cache hit
+    /// answers from whichever replica was picked without queueing.
+    pub(crate) fn submit(
+        &self,
+        policy: RoutingPolicy,
+        req: QueryRequest,
+    ) -> Result<(Ticket, u32), SubmitError> {
+        let replica = self.pick(policy);
+        Ok((self.replicas[replica].submit(req)?, replica as u32))
+    }
+
+    /// Counters folded across replicas (sums; queue high-water marks take
+    /// the maximum) with the shard cache's counters overlaid once.
+    fn folded_stats(&self) -> ServiceStats {
+        let mut stats = ServiceStats::default();
+        for core in &self.replicas {
+            stats.absorb(&core.stats());
+        }
+        overlay_cache(&mut stats, self.cache.as_deref());
+        stats
+    }
+
+    /// The shard's report row: folded counters plus one row per replica.
+    fn snapshot(&self, shard: usize, owned: usize) -> ShardSnapshot {
+        let replicas: Vec<ReplicaSnapshot> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(r, core)| ReplicaSnapshot { replica: r, stats: core.stats() })
+            .collect();
+        let mut stats = ServiceStats::default();
+        for rs in &replicas {
+            stats.absorb(&rs.stats);
+        }
+        overlay_cache(&mut stats, self.cache.as_deref());
+        ShardSnapshot { shard, owned, stats, replicas }
+    }
 }
 
 /// The resident graph served by `S` independent shard cores behind an
@@ -287,6 +373,8 @@ pub struct ShardedGraphService {
     /// Shard that runs non-gather-mergeable workloads whole (the documented
     /// fall-back keeping all 20 Table 1 workloads servable).
     pub(crate) primary: usize,
+    /// How the router picks a replica within a shard.
+    pub(crate) routing: RoutingPolicy,
     pub(crate) epochs: Arc<EpochManager>,
     /// The epoch writer thread; `None` when the service is read-only.
     writer: Option<JoinHandle<()>>,
@@ -294,11 +382,13 @@ pub struct ShardedGraphService {
 
 impl ShardedGraphService {
     /// Splits `graph` into `num_shards` slices — placement strategy is
-    /// `config.engine.partitioning` — and spawns one [`Core`] (queue +
-    /// executor pool, sized per `config`) per shard, plus the epoch writer
-    /// thread when [`ServiceConfig::mutations`] is set.
+    /// `config.engine.partitioning` — and spawns
+    /// [`ServiceConfig::replicas`] replica [`Core`]s (queue + executor
+    /// pool, sized per `config`) per shard, plus the epoch writer thread
+    /// when [`ServiceConfig::mutations`] is set.
     pub fn start(graph: Arc<Graph>, config: ServiceConfig, num_shards: usize) -> ShardedGraphService {
         assert!(num_shards >= 1, "need at least one shard");
+        assert!(config.replicas >= 1, "need at least one replica per shard");
         let n = graph.num_vertices();
         let partitioner = Partitioner::new(config.engine.partitioning, n, num_shards);
         let whole_fp = graph_fingerprint(&graph);
@@ -317,18 +407,39 @@ impl ShardedGraphService {
         let base = epochs.current();
         let shards: Vec<Shard> = (0..num_shards)
             .map(|s| {
-                let backend = Arc::new(ShardBackend {
+                let backend: Arc<dyn ExecBackend> = Arc::new(ShardBackend {
                     shard: s,
                     partitioner,
                     base: Arc::clone(&base),
                 });
+                // ONE cache per shard, shared by every replica core: keys
+                // carry no replica identity, so an answer computed on any
+                // replica serves the whole shard.
+                let cache = service_cache(&config);
+                let replicas = (0..config.replicas)
+                    .map(|r| {
+                        Core::start(
+                            Arc::clone(&backend),
+                            &config,
+                            &format!("shard{s}r{r}"),
+                            cache.clone(),
+                        )
+                    })
+                    .collect();
                 Shard {
-                    core: Core::start(backend, &config, &format!("shard{s}")),
+                    replicas,
+                    cache,
+                    next_rr: AtomicU64::new(mix3(config.seed, s as u64, RR_STREAM)),
                 }
             })
             .collect();
         let writer = config.mutations.is_some().then(|| {
-            let invalidators = shards.iter().map(|sh| sh.core.invalidator()).collect();
+            // One invalidator per shard (not per replica): the cache is
+            // shard-scoped, so each swap clears it exactly once.
+            let invalidators = shards
+                .iter()
+                .map(|sh| CacheInvalidator::new(sh.cache.clone()))
+                .collect();
             spawn_writer(
                 Arc::clone(&epochs),
                 Box::new(ShardedRebuild {
@@ -342,6 +453,7 @@ impl ShardedGraphService {
             partitioner,
             shards,
             primary: 0,
+            routing: config.routing,
             epochs,
             writer,
         }
@@ -397,77 +509,102 @@ impl ShardedGraphService {
         self.shards.len()
     }
 
+    /// Replica cores per shard (every shard runs the same count).
+    pub fn replicas_per_shard(&self) -> usize {
+        self.shards[0].replicas.len()
+    }
+
     /// The shard that owns vertex `v` (total: out-of-range ids still map to
     /// a shard, which answers [`QueryError::NoSuchVertex`]).
     pub fn owner(&self, v: VertexId) -> usize {
         self.partitioner.owner(v).min(self.shards.len() - 1)
     }
 
-    /// Per-shard identity + counters, for the stress report's occupancy and
-    /// drop columns. Owned counts come from the serving epoch (they grow
-    /// when mutations add vertices).
+    /// Per-shard identity + counters (each with one row per replica), for
+    /// the stress report's occupancy and drop columns. Owned counts come
+    /// from the serving epoch (they grow when mutations add vertices).
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         let snap = self.epochs.current();
         self.shards
             .iter()
             .enumerate()
-            .map(|(s, sh)| ShardSnapshot {
-                shard: s,
-                owned: snap.locals[s].owned,
-                stats: sh.core.stats(),
-            })
+            .map(|(s, sh)| sh.snapshot(s, snap.locals[s].owned))
             .collect()
     }
 
-    /// Counters folded across every shard (high-water marks take the max).
+    /// Counters folded across every shard and replica (high-water marks
+    /// take the max; each shard's cache counts once).
     pub fn stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();
         for sh in &self.shards {
-            total.absorb(&sh.core.stats());
+            total.absorb(&sh.folded_stats());
         }
         total
     }
 
-    /// Drops every shard's result-cache entries. Fired by the epoch writer
-    /// at every swap; also callable directly (a no-op when caching is
-    /// disabled).
+    /// Drops every shard's result-cache entries (each shard's replicas
+    /// share one cache, so this clears S caches). Fired by the epoch
+    /// writer at every swap; also callable directly (a no-op when caching
+    /// is disabled).
     pub fn invalidate_cache(&self) {
         for sh in &self.shards {
-            sh.core.invalidate_cache();
+            if let Some(cache) = &sh.cache {
+                cache.invalidate_all();
+            }
         }
     }
 
-    /// Stops admissions (requests and mutations) on every shard; accepted
-    /// requests still drain and buffered mutations are still applied.
+    /// Stops admissions (requests and mutations) on every replica of every
+    /// shard; accepted requests still drain and buffered mutations are
+    /// still applied.
     pub fn close(&self) {
         for sh in &self.shards {
-            sh.core.close();
+            for core in &sh.replicas {
+                core.close();
+            }
         }
         self.epochs.close();
     }
 
-    /// Closes every shard and blocks until the writer applied every
-    /// accepted mutation and all executors drained, returning the folded
-    /// counters.
+    /// Closes every replica core and blocks until the writer applied every
+    /// accepted mutation and all executors drained (drain-then-join across
+    /// the whole replica fleet), returning the folded counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.epochs.close();
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
         }
         for sh in &self.shards {
-            sh.core.close();
+            for core in &sh.replicas {
+                core.close();
+            }
         }
         let mut total = ServiceStats::default();
         for sh in &mut self.shards {
-            sh.core.join();
-            total.absorb(&sh.core.stats());
+            let mut stats = ServiceStats::default();
+            for core in &mut sh.replicas {
+                core.join();
+                stats.absorb(&core.stats());
+            }
+            overlay_cache(&mut stats, sh.cache.as_deref());
+            total.absorb(&stats);
         }
         total
     }
 
-    /// Pending requests per shard queue.
+    /// Pending requests per shard (summed across the shard's replica
+    /// queues).
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.shards.iter().map(|sh| sh.core.queue_depth()).collect()
+        self.shards
+            .iter()
+            .map(|sh| sh.replicas.iter().map(Core::queue_depth).sum())
+            .collect()
+    }
+
+    /// Pending requests per replica queue of one shard (the gauge the
+    /// least-loaded policy reads).
+    pub fn replica_queue_depths(&self, shard: usize) -> Vec<usize> {
+        self.shards[shard].replicas.iter().map(Core::queue_depth).collect()
     }
 }
 

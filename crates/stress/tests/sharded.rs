@@ -115,7 +115,7 @@ fn point_lookups_are_owner_routed_and_exact() {
                 .wait();
             assert_eq!(
                 deg.route,
-                Route::Routed { shard: service.owner(v) as u32 },
+                Route::Routed { shard: service.owner(v) as u32, replica: 0 },
                 "v={v} routed to its owner"
             );
             assert_eq!(
@@ -163,7 +163,7 @@ fn non_mergeable_workload_falls_back_to_primary_shard() {
         .unwrap()
         .wait();
     // Routed whole to the primary, not scattered — and still exact.
-    assert_eq!(resp.route, Route::Routed { shard: 0 });
+    assert_eq!(resp.route, Route::Routed { shard: 0, replica: 0 });
     match resp.result {
         Ok(QueryOutput::Workload { answer, .. }) => assert_eq!(answer, expected.answer),
         other => panic!("unexpected: {other:?}"),
