@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! stress [--gen SPEC | --graph FILE [--directed]]
+//!        [--scenario FILE] [--interval-ms N]
 //!        [--duration SECS] [--ops N] [--rate OPS_S] [--burst N]
 //!        [--clients N] [--executors N] [--queue N] [--shards N]
 //!        [--replicas N] [--routing round-robin|least-loaded]
@@ -33,6 +34,7 @@ use vcgp_stress::epoch::MutationConfig;
 use vcgp_stress::json;
 use vcgp_stress::mix::Mix;
 use vcgp_stress::router::RoutingPolicy;
+use vcgp_stress::scenario::{Scenario, ScenarioSpec};
 use vcgp_stress::service::{GraphService, QueueFullPolicy, ServiceConfig};
 use vcgp_stress::shard::ShardedGraphService;
 
@@ -67,6 +69,16 @@ fn usage() {
          --gen SPEC        gnm-connected:N:M:SEED | digraph:N:M:SEED |\n                    \
          labeled:N:M:LABELS:SEED | tree:N:SEED | bipartite:NL:NR\n  \
          --graph FILE      edge-list file (--directed to read as a digraph)\n  \
+         --scenario FILE   declarative load spec: named phases with their own\n                    \
+         stop criteria (duration and/or op count), rates,\n                    \
+         client counts, and weighted op mixes over seeded key\n                    \
+         distributions (see README \"Scenario engine\" for the\n                    \
+         grammar and examples/scenarios/). Supersedes --mix,\n                    \
+         --duration, --ops, --rate, --write-ratio; unset spec\n                    \
+         fields inherit the matching CLI flags\n  \
+         --interval-ms N   interval-log slot width in milliseconds\n                    \
+         (default 1000); per-interval latency histograms fold\n                    \
+         exactly to the end-of-run totals\n  \
          --duration SECS   wall-clock run length (default 2)\n  \
          --ops N           stop after exactly N operations\n  \
          --rate OPS_S      token-bucket pacing; omit for max throughput\n  \
@@ -209,11 +221,47 @@ fn run(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&write_ratio) {
         return Err("--write-ratio must be within 0.0..=1.0".to_string());
     }
+    let driver_cfg = DriverConfig {
+        clients: parse_flag(args, "--clients", 4usize)?,
+        duration: Duration::from_secs_f64(parse_flag(args, "--duration", 2.0f64)?),
+        ops_limit: flag_value(args, "--ops").map(|s| parse(s, "--ops")).transpose()?,
+        rate: flag_value(args, "--rate").map(|s| parse(s, "--rate")).transpose()?,
+        burst: parse_flag(args, "--burst", 1u32)?,
+        seed: parse_flag(args, "--seed", 7u64)?,
+        timeout: Duration::from_millis(parse_flag(args, "--timeout-ms", 5000u64)?),
+        write_ratio,
+        mutation_seed: parse_flag(args, "--mutation-seed", 11u64)?,
+        interval: Duration::from_millis(parse_flag(args, "--interval-ms", 1000u64)?.max(1)),
+    };
+    // A scenario file supersedes the preset mix and stream shape; spec
+    // fields left unset inherit the matching CLI flags, so e.g. `--seed`
+    // still varies a seedless scenario file.
+    let scenario: Option<Scenario> = match flag_value(args, "--scenario") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let mut spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            spec.seed.get_or_insert(driver_cfg.seed);
+            spec.mutation_seed.get_or_insert(driver_cfg.mutation_seed);
+            spec.clients.get_or_insert(driver_cfg.clients);
+            spec.burst.get_or_insert(driver_cfg.burst);
+            spec.rate = spec.rate.or(driver_cfg.rate);
+            spec.timeout_ms
+                .get_or_insert(driver_cfg.timeout.as_millis() as u64);
+            spec.interval_ms
+                .get_or_insert(driver_cfg.interval.as_millis() as u64);
+            Some(spec.resolve(&graph).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
     // Passing --write-ratio at all (even 0) starts the epoch writer, so a
     // `--write-ratio 0` run exercises the full mutation machinery while
     // issuing no writes — the CI gate that proves the write path is inert
-    // on the read stream. Omitting the flag keeps the service read-only.
-    let mutations = if flag_value(args, "--write-ratio").is_some() {
+    // on the read stream. A scenario with a mutate op weight starts the
+    // writer too. Otherwise the service stays read-only.
+    let mutations = if flag_value(args, "--write-ratio").is_some()
+        || scenario.as_ref().is_some_and(Scenario::has_writes)
+    {
         Some(MutationConfig {
             write_buffer: parse_flag(args, "--write-buffer", MutationConfig::default().write_buffer)?,
             max_batch: parse_flag(args, "--max-batch", MutationConfig::default().max_batch)?,
@@ -240,27 +288,18 @@ fn run(args: &[String]) -> Result<(), String> {
             .unwrap_or_default(),
         ..ServiceConfig::default()
     };
-    let driver_cfg = DriverConfig {
-        clients: parse_flag(args, "--clients", 4usize)?,
-        duration: Duration::from_secs_f64(parse_flag(args, "--duration", 2.0f64)?),
-        ops_limit: flag_value(args, "--ops").map(|s| parse(s, "--ops")).transpose()?,
-        rate: flag_value(args, "--rate").map(|s| parse(s, "--rate")).transpose()?,
-        burst: parse_flag(args, "--burst", 1u32)?,
-        seed: parse_flag(args, "--seed", 7u64)?,
-        timeout: Duration::from_millis(parse_flag(args, "--timeout-ms", 5000u64)?),
-        write_ratio,
-        mutation_seed: parse_flag(args, "--mutation-seed", 11u64)?,
-    };
-
     if !quiet {
+        let load = match &scenario {
+            Some(s) => format!("scenario {} ({} phases)", s.name, s.phases.len()),
+            None => format!("mix {} ({} workloads)", mix.name(), mix.workloads().len()),
+        };
         println!(
-            "graph: n={} m={} {} | mix {} ({} workloads) | {} clients, {} executors, \
+            "graph: n={} m={} {} | {} | {} clients, {} executors, \
              {} shard{} x {} replica{} ({})",
             graph.num_vertices(),
             graph.num_edges(),
             if graph.is_directed() { "directed" } else { "undirected" },
-            mix.name(),
-            mix.workloads().len(),
+            load,
             driver_cfg.clients,
             service_cfg.executors,
             shards,
@@ -277,12 +316,22 @@ fn run(args: &[String]) -> Result<(), String> {
     // counts and the answer hashes comparable.
     let reports = if shards > 1 || replicas > 1 {
         let service = ShardedGraphService::start(Arc::clone(&graph), service_cfg, shards);
-        let reports: Vec<_> = (0..repeat).map(|_| driver::run(&service, &mix, &driver_cfg)).collect();
+        let reports: Vec<_> = (0..repeat)
+            .map(|_| match &scenario {
+                Some(s) => driver::run_scenario(&service, s),
+                None => driver::run(&service, &mix, &driver_cfg),
+            })
+            .collect();
         service.shutdown();
         reports
     } else {
         let service = GraphService::start(Arc::clone(&graph), service_cfg);
-        let reports: Vec<_> = (0..repeat).map(|_| driver::run(&service, &mix, &driver_cfg)).collect();
+        let reports: Vec<_> = (0..repeat)
+            .map(|_| match &scenario {
+                Some(s) => driver::run_scenario(&service, s),
+                None => driver::run(&service, &mix, &driver_cfg),
+            })
+            .collect();
         service.shutdown();
         reports
     };
@@ -320,6 +369,36 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Sums an interval-series array's sparse rows (count, ok, errors),
+/// checking each row's shape and its internal `count == ok + errors`
+/// identity on the way.
+fn interval_sums(parent: &json::Value, key: &str) -> Result<(f64, f64, f64), String> {
+    let rows = match parent.get(key) {
+        Some(json::Value::Array(rows)) => rows,
+        Some(_) => return Err(format!("{key} is not an array")),
+        None => return Err(format!("missing {key:?}")),
+    };
+    let (mut count, mut ok, mut errors) = (0.0, 0.0, 0.0);
+    for (r, row) in rows.iter().enumerate() {
+        let get = |k: &str| -> Result<f64, String> {
+            row.get(k)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{key}[{r}] missing numeric {k:?}"))
+        };
+        for k in ["i", "p50", "p99", "max"] {
+            get(k)?;
+        }
+        let (c, o, e) = (get("count")?, get("ok")?, get("errors")?);
+        if c != o + e {
+            return Err(format!("{key}[{r}] count {c} != ok {o} + errors {e}"));
+        }
+        count += c;
+        ok += o;
+        errors += e;
+    }
+    Ok((count, ok, errors))
 }
 
 /// Parses a JSON report and enforces the CI gate: well formed, has the
@@ -473,6 +552,7 @@ fn validate_report(path: &str) -> Result<String, String> {
         }
         let mut sum_completed = 0.0;
         let mut max_hwm = 0.0f64;
+        let mut sum_service = 0.0;
         for (r, row) in rows.iter().enumerate() {
             for key in ["replica", "completed", "failed", "queue_hwm", "busy_ns"] {
                 row.get(key)
@@ -483,6 +563,39 @@ fn validate_report(path: &str) -> Result<String, String> {
             }
             sum_completed += row.get("completed").and_then(json::Value::as_f64).unwrap();
             max_hwm = max_hwm.max(row.get("queue_hwm").and_then(json::Value::as_f64).unwrap());
+            // The replica's measured service-time histogram and its interval
+            // series: the series must fold exactly back to the histogram
+            // (same recorder, one call per execution).
+            let service_count = row
+                .get("service_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| {
+                    format!("{path}: per_shard[{i}].replicas[{r}] missing service_ns.count")
+                })?;
+            sum_service += service_count;
+            let interval_count = interval_sums(row, "intervals")
+                .map_err(|e| format!("{path}: per_shard[{i}].replicas[{r}] {e}"))?
+                .0;
+            if interval_count != service_count {
+                return Err(format!(
+                    "{path}: per_shard[{i}].replicas[{r}] intervals sum to \
+                     {interval_count} but service_ns.count is {service_count}"
+                ));
+            }
+        }
+        // The shard's service histogram is defined as the merge of its
+        // replicas' — counts must agree exactly.
+        let shard_service = entry
+            .get("service_ns")
+            .and_then(|h| h.get("count"))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: per_shard[{i}] missing service_ns.count"))?;
+        if shard_service != sum_service {
+            return Err(format!(
+                "{path}: per_shard[{i}].service_ns.count is {shard_service} but replica \
+                 histograms sum to {sum_service}"
+            ));
         }
         let shard_completed =
             entry.get("completed").and_then(json::Value::as_f64).unwrap();
@@ -515,6 +628,108 @@ fn validate_report(path: &str) -> Result<String, String> {
         if total != summed {
             return Err(format!(
                 "{path}: {total_key} is {total} but per_shard sums to {summed}"
+            ));
+        }
+    }
+    // The scenario section: phases present, and the run-level counters are
+    // the exact fold of the phase counters (sums, XOR for the answer hash),
+    // while each phase's interval series folds exactly to its own totals.
+    match doc.get("scenario") {
+        Some(json::Value::String(_)) => {}
+        Some(_) => return Err(format!("{path}: scenario is not a string")),
+        None => return Err(format!("{path}: missing \"scenario\"")),
+    }
+    num("interval_ms")?;
+    let phases = match doc.get("phases") {
+        Some(json::Value::Array(entries)) if !entries.is_empty() => entries,
+        Some(json::Value::Array(_)) => return Err(format!("{path}: phases is empty")),
+        Some(_) => return Err(format!("{path}: phases is not an array")),
+        None => return Err(format!("{path}: missing \"phases\"")),
+    };
+    let parse_hash = |v: Option<&json::Value>, what: &str| -> Result<u64, String> {
+        match v {
+            Some(json::Value::String(s)) if s.len() == 16 => u64::from_str_radix(s, 16)
+                .map_err(|_| format!("{path}: {what} is not a hex hash")),
+            _ => Err(format!("{path}: {what} is not a 16-digit hex string")),
+        }
+    };
+    let mut fold = [0.0f64; 4]; // ops, ok, errors, writes
+    let mut fold_hash = 0u64;
+    for (pi, phase) in phases.iter().enumerate() {
+        match phase.get("phase") {
+            Some(json::Value::String(_)) => {}
+            _ => return Err(format!("{path}: phases[{pi}] missing \"phase\" name")),
+        }
+        let pnum = |key: &str| -> Result<f64, String> {
+            phase
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{path}: phases[{pi}] missing numeric {key:?}"))
+        };
+        for key in [
+            "clients",
+            "start_s",
+            "elapsed_s",
+            "unsupported",
+            "timeouts",
+            "retries",
+            "routed",
+            "scattered",
+            "write_errors",
+        ] {
+            pnum(key)?;
+        }
+        let (p_ops, p_ok, p_errors, p_writes) =
+            (pnum("ops")?, pnum("ok")?, pnum("errors")?, pnum("writes")?);
+        fold[0] += p_ops;
+        fold[1] += p_ok;
+        fold[2] += p_errors;
+        fold[3] += p_writes;
+        fold_hash ^= parse_hash(
+            phase.get("answer_hash"),
+            &format!("phases[{pi}].answer_hash"),
+        )?;
+        // Every completed operation lands in exactly one interval slot and
+        // in the phase latency histogram, so the sums must match exactly.
+        let latency_count = phase
+            .get("latency_ns")
+            .and_then(|h| h.get("count"))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: phases[{pi}] missing latency_ns.count"))?;
+        if latency_count != p_ops {
+            return Err(format!(
+                "{path}: phases[{pi}].latency_ns.count is {latency_count} but ops is {p_ops}"
+            ));
+        }
+        let (icount, iok, ierrors) =
+            interval_sums(phase, "intervals").map_err(|e| format!("{path}: phases[{pi}] {e}"))?;
+        for (got, want, what) in [
+            (icount, p_ops, "ops"),
+            (iok, p_ok, "ok"),
+            (ierrors, p_errors, "errors"),
+        ] {
+            if got != want {
+                return Err(format!(
+                    "{path}: phases[{pi}] intervals sum to {got} but {what} is {want}"
+                ));
+            }
+        }
+        if p_ops >= 1.0 && icount < 1.0 {
+            return Err(format!("{path}: phases[{pi}] completed ops but has no intervals"));
+        }
+    }
+    let top_hash = parse_hash(doc.get("answer_hash"), "answer_hash")?;
+    if fold_hash != top_hash {
+        return Err(format!(
+            "{path}: phase answer hashes fold to {fold_hash:016x} but the run hash is \
+             {top_hash:016x}"
+        ));
+    }
+    for (sum, key) in fold.iter().zip(["ops", "ok", "errors", "writes"]) {
+        let total = num(key)?;
+        if *sum != total {
+            return Err(format!(
+                "{path}: phases sum {key} to {sum} but the run total is {total}"
             ));
         }
     }

@@ -1,8 +1,24 @@
 //! The load driver: client threads issuing a deterministic, seeded
-//! operation mix against a [`StressTarget`] (the single-instance
+//! operation stream against a [`StressTarget`] (the single-instance
 //! [`GraphService`](crate::service::GraphService) or the sharded service),
 //! paced by a token bucket (or unthrottled), recording latencies into
 //! mergeable log-bucketed histograms.
+//!
+//! **Scenarios.** Every run is a [`Scenario`]: an ordered list of phases
+//! (warmup / measure / cooldown), each with its own stop criterion
+//! (duration and/or op count), client count, target rate, and compiled op
+//! mix ([`crate::scenario::PhaseMix`]). The legacy entry point [`run`]
+//! desugars a preset [`Mix`] + [`DriverConfig`] into a one-phase scenario
+//! via [`Scenario::from_legacy`] — the desugaring reproduces the historical
+//! op stream bit for bit, so the preset CLI surface is unchanged behavior
+//! expressed through the scenario engine.
+//!
+//! **Interval logs.** Each phase's latency samples are additionally
+//! bucketed by completion time into an [`IntervalSeries`] (striped per
+//! client thread, merged exactly at the end), and the service side keeps
+//! per-replica service-time series scoped to the run. Interval sums fold
+//! *exactly* to the end-of-run histograms — `--validate-report` checks the
+//! identity.
 //!
 //! **Coordinated omission.** When a rate is configured, each operation has
 //! an *intended* start time on the fixed schedule `i · interval` and its
@@ -15,28 +31,32 @@
 //! of scattered operations; at the end of the run the target's per-shard
 //! snapshots contribute occupancy (queue high-water marks), rejects, early
 //! drops, and result-cache hit counts to the report — plus one row per
-//! replica core (completed, queue high-water mark, executor busy time), so
-//! a replicated hot shard's load split is visible directly.
+//! replica core (completed, queue high-water mark, executor busy time, and
+//! the measured service-time histogram with its interval series), so a
+//! replicated hot shard's load split is visible directly.
 //!
 //! **Run scoping.** Service counters are monotone for the process, but one
 //! process can host several driver runs (the bin's `--repeat`, the cache
 //! warm/hot comparison in `scripts/verify.sh`). The driver snapshots the
-//! per-shard counters before spawning clients and reports the *delta*, so
-//! every report describes exactly its own run; gauges (queue high-water
-//! mark, cache resident bytes) keep their end-of-run values.
+//! per-shard counters before spawning clients and reports the *delta*, and
+//! resets the service-time recorders at the run origin, so every report
+//! describes exactly its own run; gauges (queue high-water mark, cache
+//! resident bytes) keep their end-of-run values.
 //!
 //! **Answer hashing.** Each client folds every successful payload into an
 //! order-independent 64-bit `answer_hash` (XOR of per-operation mixes), so
-//! two runs of the same seeded mix can be checked for *bit-identical
-//! answers* — not just matching counts — from the reports alone. This is
-//! the gate that proves cached answers equal freshly computed ones.
+//! two runs of the same seeded scenario can be checked for *bit-identical
+//! answers* — not just matching counts — from the reports alone. Phase
+//! hashes XOR to the run hash.
 
 use crate::epoch::{mutation_op, WriterReport};
+use crate::interval::IntervalSeries;
 use crate::mix::Mix;
 use crate::rate::TokenBucket;
 use crate::request::{QueryError, QueryOutput, QueryRequest, Route};
 use crate::router::StressTarget;
-use crate::service::{ReplicaSnapshot, ShardSnapshot, SubmitError};
+use crate::scenario::{Phase, Scenario};
+use crate::service::{ReplicaSeries, ReplicaSnapshot, ShardSnapshot, SubmitError};
 use vcgp_core::service::Partial;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -50,9 +70,6 @@ const REQ_STREAM: u64 = 0x5245_5153; // "REQS"
 
 /// Domain separator for the answer-hash fold.
 const ANS_STREAM: u64 = 0x414E_5348; // "ANSH"
-
-/// Domain separator for the read-vs-write decision per stream index.
-const WRITE_STREAM: u64 = 0x5752_4454; // "WRDT"
 
 /// Hashes one successful payload, mixed with the operation id so identical
 /// payloads at different stream positions stay distinguishable. XOR-folding
@@ -79,7 +96,9 @@ fn output_hash(id: u64, out: &QueryOutput) -> u64 {
     mix3(id, payload, ANS_STREAM)
 }
 
-/// Driver settings.
+/// Driver settings for the legacy preset entry point ([`run`]). A scenario
+/// file supersedes all of this; [`Scenario::from_legacy`] maps these fields
+/// onto a one-phase scenario.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// Concurrent client threads (each submits and waits synchronously).
@@ -106,6 +125,8 @@ pub struct DriverConfig {
     /// mutation drawn; independent of the query-mix seed so read and write
     /// streams can be varied separately).
     pub mutation_seed: u64,
+    /// Width of the interval-log slots.
+    pub interval: Duration,
 }
 
 impl Default for DriverConfig {
@@ -120,22 +141,75 @@ impl Default for DriverConfig {
             timeout: Duration::from_secs(5),
             write_ratio: 0.0,
             mutation_seed: 11,
+            interval: Duration::from_secs(1),
         }
     }
+}
+
+/// One phase's aggregated measurements within a [`StressReport`]. The
+/// run-level counters are the exact fold of the phase counters (sums /
+/// histogram merges / XOR for the answer hash) — an identity
+/// `--validate-report` checks.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name from the scenario.
+    pub name: String,
+    /// Client threads the phase ran.
+    pub clients: usize,
+    /// Configured rate (`None` = unthrottled).
+    pub rate: Option<f64>,
+    /// Phase start, seconds after the run origin.
+    pub start_s: f64,
+    /// Wall-clock time the phase took.
+    pub elapsed: Duration,
+    /// Operations completed (ok + errored; writes counted apart).
+    pub ops: u64,
+    /// Operations that returned a payload.
+    pub ok: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Errors that were precondition rejections (subset of `errors`).
+    pub unsupported: u64,
+    /// Operations that exhausted their attempts (subset of `errors`).
+    pub timeouts: u64,
+    /// Retry attempts beyond each operation's first.
+    pub retries: u64,
+    /// Operations owner-routed to a single shard.
+    pub routed: u64,
+    /// Operations scattered to every shard and gather-merged.
+    pub scattered: u64,
+    /// Mutations accepted into the write buffer.
+    pub writes: u64,
+    /// Mutations refused at submission.
+    pub write_errors: u64,
+    /// XOR fold of this phase's successful payloads.
+    pub answer_hash: u64,
+    /// End-to-end latency (coordinated-omission-corrected when paced).
+    pub latency: LogHistogram,
+    /// Pure execution time reported per response.
+    pub service_time: LogHistogram,
+    /// Gather straggler penalty of scattered operations.
+    pub gather: LogHistogram,
+    /// Client-observed accept latency of successful mutation submissions.
+    pub write_accept: LogHistogram,
+    /// The phase's latency samples bucketed by completion time (relative
+    /// to the phase start); folds exactly to `latency`, and its ok/error
+    /// sums equal the phase counters.
+    pub intervals: IntervalSeries,
 }
 
 /// Aggregated results of one driver run.
 #[derive(Debug, Clone)]
 pub struct StressReport {
-    /// Mix preset name.
+    /// Scenario name (the mix preset name for legacy runs).
     pub mix: String,
-    /// Operation-stream seed.
+    /// Operation-stream base seed.
     pub seed: u64,
-    /// Client thread count.
+    /// Client thread count (the maximum across phases).
     pub clients: usize,
-    /// Configured rate (`None` = unthrottled).
+    /// Configured rate of the first phase (`None` = unthrottled).
     pub rate: Option<f64>,
-    /// Burst allowance.
+    /// Burst allowance of the first phase.
     pub burst: u32,
     /// Shards of the target service (1 = unsharded).
     pub shards: usize,
@@ -143,7 +217,9 @@ pub struct StressReport {
     pub replicas: usize,
     /// Replica-routing policy label (`round-robin` / `least-loaded`).
     pub routing: String,
-    /// Wall-clock time actually spent.
+    /// Interval-log slot width in nanoseconds.
+    pub interval_ns: u64,
+    /// Wall-clock time actually spent (all phases).
     pub elapsed: Duration,
     /// Operations completed (ok + errored).
     pub ops: u64,
@@ -199,8 +275,8 @@ pub struct StressReport {
     /// rises when the write buffer fills faster than epochs install).
     pub write_accept: LogHistogram,
     /// Order-independent XOR fold of every successful payload (see the
-    /// module docs). Two runs of the same seeded mix over the same graph
-    /// must report the same hash, cached or not.
+    /// module docs). Two runs of the same seeded scenario over the same
+    /// graph must report the same hash, cached or not.
     pub answer_hash: u64,
     /// End-to-end latency in nanoseconds; coordinated-omission-corrected
     /// (measured from the intended schedule) when a rate is set.
@@ -210,8 +286,50 @@ pub struct StressReport {
     /// Gather straggler penalty in nanoseconds, recorded per scattered
     /// operation (empty when nothing scattered).
     pub gather: LogHistogram,
+    /// One report per phase, in run order; the run counters above are
+    /// their exact fold.
+    pub phases: Vec<PhaseReport>,
     /// Per-shard identity + counters snapshot at the end of the run.
     pub per_shard: Vec<ShardSnapshot>,
+    /// Per-shard, per-replica measured service times (histogram + interval
+    /// series, origin = run start), positionally parallel to `per_shard`.
+    pub replica_series: Vec<Vec<ReplicaSeries>>,
+}
+
+/// The sparse JSON rows of an interval series.
+fn intervals_json(series: &IntervalSeries) -> String {
+    series
+        .nonempty()
+        .map(|(i, slot)| {
+            format!(
+                "{{\"i\": {}, \"count\": {}, \"ok\": {}, \"errors\": {}, \"p50\": {}, \
+                 \"p99\": {}, \"max\": {}}}",
+                i,
+                slot.hist.count(),
+                slot.ok,
+                slot.errors,
+                slot.hist.quantile(0.50),
+                slot.hist.quantile(0.99),
+                slot.hist.max()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn hist_json(h: &LogHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"min\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+         \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+        h.count(),
+        h.min(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max()
+    )
 }
 
 impl StressReport {
@@ -227,44 +345,49 @@ impl StressReport {
 
     /// The report as a JSON document (parsable by [`crate::json::parse`]).
     pub fn to_json(&self, name: &str) -> String {
-        let hist = |h: &LogHistogram| {
-            format!(
-                "{{\"count\": {}, \"min\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
-                 \"p99\": {}, \"p999\": {}, \"max\": {}}}",
-                h.count(),
-                h.min(),
-                h.mean(),
-                h.quantile(0.50),
-                h.quantile(0.90),
-                h.quantile(0.99),
-                h.quantile(0.999),
-                h.max()
-            )
-        };
+        let hist = hist_json;
+        let empty_series: Vec<ReplicaSeries> = Vec::new();
         let per_shard = self
             .per_shard
             .iter()
-            .map(|s| {
+            .enumerate()
+            .map(|(si, s)| {
+                let series = self.replica_series.get(si).unwrap_or(&empty_series);
                 let replicas = s
                     .replicas
                     .iter()
-                    .map(|r| {
+                    .enumerate()
+                    .map(|(ri, r)| {
+                        let (service_ns, intervals) = match series.get(ri) {
+                            Some(rs) => (hist(&rs.service), intervals_json(&rs.intervals)),
+                            None => (hist(&LogHistogram::new()), String::new()),
+                        };
                         format!(
                             "{{\"replica\": {}, \"completed\": {}, \"failed\": {}, \
-                             \"queue_hwm\": {}, \"busy_ns\": {}}}",
+                             \"queue_hwm\": {}, \"busy_ns\": {}, \"service_ns\": {}, \
+                             \"intervals\": [{}]}}",
                             r.replica,
                             r.stats.completed,
                             r.stats.failed,
                             r.stats.queue_hwm,
-                            r.stats.busy_ns
+                            r.stats.busy_ns,
+                            service_ns,
+                            intervals
                         )
                     })
                     .collect::<Vec<_>>()
                     .join(", ");
+                // The shard's measured service times: the exact merge of its
+                // replicas' histograms.
+                let mut shard_service = LogHistogram::new();
+                for rs in series {
+                    shard_service.merge(&rs.service);
+                }
                 format!(
                     "{{\"shard\": {}, \"owned\": {}, \"completed\": {}, \"failed\": {}, \
                      \"rejects\": {}, \"early_drops\": {}, \"cache_hits\": {}, \
-                     \"queue_hwm\": {}, \"busy_ns\": {}, \"replicas\": [{}]}}",
+                     \"queue_hwm\": {}, \"busy_ns\": {}, \"service_ns\": {}, \
+                     \"replicas\": [{}]}}",
                     s.shard,
                     s.owned,
                     s.stats.completed,
@@ -274,7 +397,43 @@ impl StressReport {
                     s.stats.cache_hits,
                     s.stats.queue_hwm,
                     s.stats.busy_ns,
+                    hist(&shard_service),
                     replicas
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"phase\": \"{}\", \"clients\": {}, \"rate\": {}, \"start_s\": {:.3}, \
+                     \"elapsed_s\": {:.3}, \"ops\": {}, \"ok\": {}, \"errors\": {}, \
+                     \"unsupported\": {}, \"timeouts\": {}, \"retries\": {}, \"routed\": {}, \
+                     \"scattered\": {}, \"writes\": {}, \"write_errors\": {}, \
+                     \"answer_hash\": \"{:016x}\", \"latency_ns\": {}, \"service_ns\": {}, \
+                     \"gather_ns\": {}, \"intervals\": [{}]}}",
+                    json_escape(&p.name),
+                    p.clients,
+                    p.rate.map_or("null".to_string(), |r| format!("{r:.1}")),
+                    p.start_s,
+                    p.elapsed.as_secs_f64(),
+                    p.ops,
+                    p.ok,
+                    p.errors,
+                    p.unsupported,
+                    p.timeouts,
+                    p.retries,
+                    p.routed,
+                    p.scattered,
+                    p.writes,
+                    p.write_errors,
+                    p.answer_hash,
+                    hist(&p.latency),
+                    hist(&p.service_time),
+                    hist(&p.gather),
+                    intervals_json(&p.intervals)
                 )
             })
             .collect::<Vec<_>>()
@@ -306,17 +465,19 @@ impl StressReport {
             hist(&self.write_accept)
         );
         format!(
-            "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+            "{{\n  \"name\": \"{}\",\n  \"mix\": \"{}\",\n  \"scenario\": \"{}\",\n  \
+             \"seed\": {},\n  \"clients\": {},\n  \
              \"rate\": {},\n  \"burst\": {},\n  \"shards\": {},\n  \"replicas\": {},\n  \
-             \"routing\": \"{}\",\n  \"elapsed_s\": {:.3},\n  \
+             \"routing\": \"{}\",\n  \"interval_ms\": {},\n  \"elapsed_s\": {:.3},\n  \
              \"ops\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"unsupported\": {},\n  \
              \"timeouts\": {},\n  \"retries\": {},\n  \"routed\": {},\n  \"scattered\": {},\n  \
              \"rejects\": {},\n  \"early_drops\": {},\n  \"writes\": {},\n  \
              \"write_errors\": {},\n  \"throughput_ops_s\": {:.1},\n  \
              \"answer_hash\": \"{:016x}\",\n  \"cache\": {},\n  \"epochs\": {},\n  \
              \"latency_ns\": {},\n  \"service_ns\": {},\n  \"gather_ns\": {},\n  \
-             \"per_shard\": [{}]\n}}\n",
+             \"phases\": [{}],\n  \"per_shard\": [{}]\n}}\n",
             json_escape(name),
+            json_escape(&self.mix),
             json_escape(&self.mix),
             self.seed,
             self.clients,
@@ -325,6 +486,7 @@ impl StressReport {
             self.shards,
             self.replicas,
             json_escape(&self.routing),
+            self.interval_ns / 1_000_000,
             self.elapsed.as_secs_f64(),
             self.ops,
             self.ok,
@@ -345,6 +507,7 @@ impl StressReport {
             hist(&self.latency),
             hist(&self.service_time),
             hist(&self.gather),
+            phases,
             per_shard
         )
     }
@@ -355,8 +518,8 @@ impl StressReport {
         let mut out = String::new();
         out.push_str(&format!("# Stress run: {name}\n\n"));
         out.push_str(&format!(
-            "mix `{}`, seed {}, {} clients, rate {}, burst {}, {} shard{} × {} replica{} \
-             ({} routing)\n\n",
+            "scenario `{}`, seed {}, {} clients, rate {}, burst {}, {} shard{} × {} replica{} \
+             ({} routing), {} ms intervals\n\n",
             self.mix,
             self.seed,
             self.clients,
@@ -367,7 +530,8 @@ impl StressReport {
             if self.shards == 1 { "" } else { "s" },
             self.replicas,
             if self.replicas == 1 { "" } else { "s" },
-            self.routing
+            self.routing,
+            self.interval_ns / 1_000_000
         ));
         out.push_str("| metric | value |\n|---|---|\n");
         out.push_str(&format!("| elapsed | {:.2} s |\n", self.elapsed.as_secs_f64()));
@@ -429,6 +593,27 @@ impl StressReport {
                 ms(h.max())
             ));
         }
+        out.push_str(
+            "\n| phase | clients | rate | start s | elapsed s | ops | ok | errors | writes | \
+             intervals | p50 ms | p99 ms |\n|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.2} | {:.2} | {} | {} | {} | {} | {} | {:.3} | {:.3} |\n",
+                p.name,
+                p.clients,
+                p.rate.map_or("—".to_string(), |r| format!("{r:.0}/s")),
+                p.start_s,
+                p.elapsed.as_secs_f64(),
+                p.ops,
+                p.ok,
+                p.errors,
+                p.writes,
+                p.intervals.completed_intervals(),
+                ms(p.latency.quantile(0.50)),
+                ms(p.latency.quantile(0.99))
+            ));
+        }
         if !self.per_shard.is_empty() {
             out.push_str(
                 "\n| shard | owned | completed | failed | rejects | early drops | cache hits | \
@@ -450,24 +635,27 @@ impl StressReport {
             }
             out.push_str(
                 "\n| shard | replica | completed | failed | queue hwm | busy ms | \
-                 mean service ms |\n|---|---|---|---|---|---|---|\n",
+                 service p50 ms | service p99 ms |\n|---|---|---|---|---|---|---|---|\n",
             );
-            for s in &self.per_shard {
-                for r in &s.replicas {
-                    let mean = if r.stats.completed > 0 {
-                        r.stats.busy_ns as f64 / r.stats.completed as f64 / 1e6
-                    } else {
-                        0.0
-                    };
+            for (si, s) in self.per_shard.iter().enumerate() {
+                for (ri, r) in s.replicas.iter().enumerate() {
+                    let series = self
+                        .replica_series
+                        .get(si)
+                        .and_then(|shard| shard.get(ri));
+                    let (p50, p99) = series.map_or((0, 0), |rs| {
+                        (rs.service.quantile(0.50), rs.service.quantile(0.99))
+                    });
                     out.push_str(&format!(
-                        "| {} | {} | {} | {} | {} | {:.3} | {:.4} |\n",
+                        "| {} | {} | {} | {} | {} | {:.3} | {:.4} | {:.4} |\n",
                         s.shard,
                         r.replica,
                         r.stats.completed,
                         r.stats.failed,
                         r.stats.queue_hwm,
                         ms(r.stats.busy_ns),
-                        mean
+                        ms(p50),
+                        ms(p99)
                     ));
                 }
             }
@@ -476,7 +664,6 @@ impl StressReport {
     }
 }
 
-#[derive(Default)]
 struct ClientStats {
     ops: u64,
     ok: u64,
@@ -493,60 +680,163 @@ struct ClientStats {
     service_time: LogHistogram,
     gather: LogHistogram,
     write_accept: LogHistogram,
+    /// Latency samples bucketed by completion time relative to the phase
+    /// start — striped per client, merged exactly at phase end.
+    intervals: IntervalSeries,
 }
 
-/// Runs the workload described by `cfg` against `target` and aggregates
-/// every client's measurements plus the target's per-shard counters.
+impl ClientStats {
+    fn new(interval_ns: u64) -> ClientStats {
+        ClientStats {
+            ops: 0,
+            ok: 0,
+            errors: 0,
+            unsupported: 0,
+            timeouts: 0,
+            retries: 0,
+            routed: 0,
+            scattered: 0,
+            writes: 0,
+            write_errors: 0,
+            answer_hash: 0,
+            latency: LogHistogram::new(),
+            service_time: LogHistogram::new(),
+            gather: LogHistogram::new(),
+            write_accept: LogHistogram::new(),
+            intervals: IntervalSeries::new(interval_ns),
+        }
+    }
+
+    fn fold(&mut self, other: &ClientStats) {
+        self.ops += other.ops;
+        self.ok += other.ok;
+        self.errors += other.errors;
+        self.unsupported += other.unsupported;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.routed += other.routed;
+        self.scattered += other.scattered;
+        self.writes += other.writes;
+        self.write_errors += other.write_errors;
+        self.answer_hash ^= other.answer_hash;
+        self.latency.merge(&other.latency);
+        self.service_time.merge(&other.service_time);
+        self.gather.merge(&other.gather);
+        self.write_accept.merge(&other.write_accept);
+        self.intervals.merge(&other.intervals);
+    }
+}
+
+/// Runs the legacy preset workload described by `cfg` against `target` —
+/// by desugaring it into a one-phase [`Scenario`] (see
+/// [`Scenario::from_legacy`]) and running that. The desugared op stream is
+/// bit-identical to the historical driver's, so reports keep their exact
+/// counts and answer hashes.
 pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> StressReport {
-    assert!(cfg.clients >= 1, "need at least one client");
-    let next_op = AtomicU64::new(0);
+    run_scenario(target, &Scenario::from_legacy(mix, cfg))
+}
+
+/// Runs a resolved scenario against `target`: each phase spawns its client
+/// threads, drives its compiled mix under its own pacing and stop
+/// criteria, and the run report folds the phase reports exactly.
+pub fn run_scenario<T: StressTarget>(target: &T, scenario: &Scenario) -> StressReport {
+    assert!(!scenario.phases.is_empty(), "scenario has no phases");
+    let interval_ns = (scenario.interval.as_nanos() as u64).max(1);
     // Counter baseline: the same service process may host several runs, so
     // the report subtracts what was already on the clocks (see module docs).
     // The writer baseline also *resets* the freshness histograms (they
-    // merge but cannot subtract), scoping them to this run too.
+    // merge but cannot subtract), scoping them to this run too; the
+    // service-log reset scopes the per-replica series the same way.
     let baseline = target.shard_snapshots();
     let writer_baseline = target.writer_baseline();
     // Mutation stream span: the initial vertex-id space (every vertex is
     // owned by exactly one shard, so the owned counts sum to n).
     let base_n = baseline.iter().map(|s| s.owned).sum::<usize>().max(2);
-    let bucket = cfg
-        .rate
-        .map(|r| Mutex::new(TokenBucket::new(r, cfg.burst.max(1))));
-    let interval_ns = cfg.rate.map(|r| ((1e9 / r).max(1.0)) as u64);
-    let start = Instant::now();
-    let end = start + cfg.duration;
+    let run_start = Instant::now();
+    target.reset_service_log(run_start, interval_ns);
 
-    let merged: Vec<ClientStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.clients)
-            .map(|_| {
-                let next_op = &next_op;
-                let bucket = &bucket;
-                scope.spawn(move || {
-                    client_loop(target, mix, cfg, base_n, next_op, bucket, interval_ns, start, end)
+    let mut phases: Vec<PhaseReport> = Vec::with_capacity(scenario.phases.len());
+    for phase in &scenario.phases {
+        assert!(phase.clients >= 1, "phase needs at least one client");
+        let next_op = AtomicU64::new(0);
+        let bucket = phase
+            .rate
+            .map(|r| Mutex::new(TokenBucket::new(r, phase.burst.max(1))));
+        let pace_step = phase.rate.map(|r| ((1e9 / r).max(1.0)) as u64);
+        let phase_start = Instant::now();
+        let end = phase.duration.map(|d| phase_start + d);
+        let merged: Vec<ClientStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..phase.clients)
+                .map(|_| {
+                    let next_op = &next_op;
+                    let bucket = &bucket;
+                    scope.spawn(move || {
+                        client_loop(
+                            target,
+                            phase,
+                            scenario.timeout,
+                            interval_ns,
+                            base_n,
+                            next_op,
+                            bucket,
+                            pace_step,
+                            phase_start,
+                            end,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = phase_start.elapsed();
+        let mut total = ClientStats::new(interval_ns);
+        for c in &merged {
+            total.fold(c);
+        }
+        phases.push(PhaseReport {
+            name: phase.name.clone(),
+            clients: phase.clients,
+            rate: phase.rate,
+            start_s: phase_start.duration_since(run_start).as_secs_f64(),
+            elapsed,
+            ops: total.ops,
+            ok: total.ok,
+            errors: total.errors,
+            unsupported: total.unsupported,
+            timeouts: total.timeouts,
+            retries: total.retries,
+            routed: total.routed,
+            scattered: total.scattered,
+            writes: total.writes,
+            write_errors: total.write_errors,
+            answer_hash: total.answer_hash,
+            latency: total.latency,
+            service_time: total.service_time,
+            gather: total.gather,
+            write_accept: total.write_accept,
+            intervals: total.intervals,
+        });
+    }
 
-    let elapsed = start.elapsed();
-    let mut total = ClientStats::default();
-    for c in merged {
-        total.ops += c.ops;
-        total.ok += c.ok;
-        total.errors += c.errors;
-        total.unsupported += c.unsupported;
-        total.timeouts += c.timeouts;
-        total.retries += c.retries;
-        total.routed += c.routed;
-        total.scattered += c.scattered;
-        total.writes += c.writes;
-        total.write_errors += c.write_errors;
-        total.answer_hash ^= c.answer_hash;
-        total.latency.merge(&c.latency);
-        total.service_time.merge(&c.service_time);
-        total.gather.merge(&c.gather);
-        total.write_accept.merge(&c.write_accept);
+    let elapsed = run_start.elapsed();
+    // The run counters are the exact fold of the phase counters.
+    let mut total = ClientStats::new(interval_ns);
+    for p in &phases {
+        total.ops += p.ops;
+        total.ok += p.ok;
+        total.errors += p.errors;
+        total.unsupported += p.unsupported;
+        total.timeouts += p.timeouts;
+        total.retries += p.retries;
+        total.routed += p.routed;
+        total.scattered += p.scattered;
+        total.writes += p.writes;
+        total.write_errors += p.write_errors;
+        total.answer_hash ^= p.answer_hash;
+        total.latency.merge(&p.latency);
+        total.service_time.merge(&p.service_time);
+        total.gather.merge(&p.gather);
+        total.write_accept.merge(&p.write_accept);
     }
     let per_shard: Vec<ShardSnapshot> = target
         .shard_snapshots()
@@ -576,14 +866,15 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
     let mut epochs = target.writer_report();
     epochs.stats = epochs.stats.delta_since(&writer_baseline);
     StressReport {
-        mix: mix.name().to_string(),
-        seed: cfg.seed,
-        clients: cfg.clients,
-        rate: cfg.rate,
-        burst: cfg.burst,
+        mix: scenario.name.clone(),
+        seed: scenario.seed,
+        clients: scenario.phases.iter().map(|p| p.clients).max().unwrap_or(1),
+        rate: scenario.phases[0].rate,
+        burst: scenario.phases[0].burst,
         shards: target.num_shards(),
         replicas: target.replicas_per_shard(),
         routing: target.routing_label().to_string(),
+        interval_ns,
         elapsed,
         ops: total.ops,
         ok: total.ok,
@@ -608,38 +899,41 @@ pub fn run<T: StressTarget>(target: &T, mix: &Mix, cfg: &DriverConfig) -> Stress
         latency: total.latency,
         service_time: total.service_time,
         gather: total.gather,
+        phases,
         per_shard,
+        replica_series: target.replica_series(),
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn client_loop<T: StressTarget>(
     target: &T,
-    mix: &Mix,
-    cfg: &DriverConfig,
+    phase: &Phase,
+    timeout: Duration,
+    interval_ns: u64,
     base_n: usize,
     next_op: &AtomicU64,
     bucket: &Option<Mutex<TokenBucket>>,
-    interval_ns: Option<u64>,
+    pace_step: Option<u64>,
     start: Instant,
-    end: Instant,
+    end: Option<Instant>,
 ) -> ClientStats {
-    let mut stats = ClientStats::default();
+    let mut stats = ClientStats::new(interval_ns);
     loop {
-        if Instant::now() >= end {
+        if end.is_some_and(|e| Instant::now() >= e) {
             break;
         }
         let i = next_op.fetch_add(1, Ordering::Relaxed);
-        if cfg.ops_limit.is_some_and(|cap| i >= cap) {
+        if phase.ops_limit.is_some_and(|cap| i >= cap) {
             break;
         }
-        // Pacing: wait for a token; give up (and end the run) rather than
+        // Pacing: wait for a token; give up (and end the phase) rather than
         // issue an operation past the configured duration.
         if let Some(bucket) = bucket {
             let mut gave_up = false;
             loop {
                 let now = Instant::now();
-                if now >= end {
+                if end.is_some_and(|e| now >= e) {
                     gave_up = true;
                     break;
                 }
@@ -652,8 +946,10 @@ fn client_loop<T: StressTarget>(
                 match decision {
                     Ok(()) => break,
                     Err(wait_ns) => {
-                        let sleep = Duration::from_nanos(wait_ns)
-                            .min(end.saturating_duration_since(now));
+                        let mut sleep = Duration::from_nanos(wait_ns);
+                        if let Some(e) = end {
+                            sleep = sleep.min(e.saturating_duration_since(now));
+                        }
                         std::thread::sleep(sleep);
                     }
                 }
@@ -665,14 +961,11 @@ fn client_loop<T: StressTarget>(
         // Write decision: a pure function of (mutation_seed, index), so
         // the read/write interleaving replays exactly. Write indices are
         // consumed from the shared stream but recorded apart from the read
-        // accounting — with write_ratio 0 the loop below is bit-identical
+        // accounting — with no mutate weight the loop below is bit-identical
         // to a run without any write path.
-        let is_write = cfg.write_ratio > 0.0
-            && mix3(cfg.mutation_seed, i, WRITE_STREAM) % 1_000_000
-                < (cfg.write_ratio * 1e6) as u64;
-        if is_write {
+        if phase.mix.is_write(phase.mutation_seed, i) {
             let t0 = Instant::now();
-            match target.submit_mutation(mutation_op(cfg.mutation_seed, i, base_n)) {
+            match target.submit_mutation(mutation_op(phase.mutation_seed, i, base_n)) {
                 Ok(_) => {
                     stats.writes += 1;
                     stats.write_accept.record(t0.elapsed().as_nanos() as u64);
@@ -684,13 +977,13 @@ fn client_loop<T: StressTarget>(
         }
         // Intended start on the fixed schedule (coordinated-omission
         // correction); actual submit time when unthrottled.
-        let intended = match interval_ns {
+        let intended = match pace_step {
             Some(step) => start + Duration::from_nanos(i.saturating_mul(step)),
             None => Instant::now(),
         };
-        let req = QueryRequest::new(i, mix.op(cfg.seed, i))
-            .with_seed(mix3(cfg.seed, i, REQ_STREAM))
-            .with_timeout(cfg.timeout);
+        let req = QueryRequest::new(i, phase.mix.op(phase.seed, i))
+            .with_seed(mix3(phase.seed, i, REQ_STREAM))
+            .with_timeout(timeout);
         let ticket = match target.submit_op(req) {
             Ok(t) => t,
             Err(_) => break,
@@ -707,9 +1000,12 @@ fn client_loop<T: StressTarget>(
                 stats.gather.record(resp.gather_wait.as_nanos() as u64);
             }
         }
-        stats
-            .latency
-            .record(done.saturating_duration_since(intended).as_nanos() as u64);
+        let latency_ns = done.saturating_duration_since(intended).as_nanos() as u64;
+        stats.latency.record(latency_ns);
+        // The same sample, bucketed by when it completed within the phase —
+        // slot sums fold exactly back to the latency histogram.
+        let at_ns = done.saturating_duration_since(start).as_nanos() as u64;
+        stats.intervals.record(at_ns, latency_ns, resp.result.is_ok());
         stats.service_time.record(resp.service_time.as_nanos() as u64);
         match &resp.result {
             Ok(out) => {

@@ -38,6 +38,14 @@
 //! * [`mix`] — deterministic operation mixes: `(seed, index) → operation`
 //!   as a pure function, so a fixed seed reproduces the exact sequence
 //!   regardless of client interleaving;
+//! * [`scenario`] + [`dist`] + [`interval`] — the scenario engine:
+//!   declarative load specs (ordered warmup/measure/cooldown phases, each
+//!   with its own stop criterion, rate, client count, and weighted op mix
+//!   over per-op seeded key distributions) parsed from a dependency-free
+//!   line format, resolved against the resident graph, and logged as
+//!   per-interval latency histograms whose sums fold *exactly* to the
+//!   end-of-run totals; legacy preset flags desugar to one-phase scenarios
+//!   bit-identical to their historical op streams;
 //! * [`driver`] — the load generator: client threads, token-bucket pacing
 //!   (or unthrottled), coordinated-omission-corrected latency plus pure
 //!   service time in mergeable log-bucketed histograms, and JSON/markdown
@@ -49,27 +57,33 @@
 //! Run the driver with `cargo run --release -p vcgp-stress --bin stress`.
 
 pub mod cache;
+pub mod dist;
 pub mod driver;
 pub mod epoch;
+pub mod interval;
 pub use vcgp_testkit::json;
 pub mod mix;
 pub mod rate;
 pub mod request;
 pub mod router;
+pub mod scenario;
 pub mod service;
 pub mod shard;
 
 pub use cache::{CacheKey, CacheScope, CacheStats, CachedAnswer, ResultCache};
-pub use driver::{run, DriverConfig, StressReport};
+pub use driver::{run, run_scenario, DriverConfig, PhaseReport, StressReport};
 pub use epoch::{
     mutation_op, EpochSnapshot, MutationConfig, ShardSlice, WriterReport, WriterStats,
 };
+pub use dist::{DistSpec, KeySampler};
+pub use interval::{IntervalSeries, IntervalSlot};
 pub use mix::{Mix, Zipf};
 pub use rate::TokenBucket;
+pub use scenario::{OpClass, OpSpec, Phase, PhaseMix, PhaseSpec, Scenario, ScenarioSpec, SpanSpec};
 pub use request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
 pub use router::{AnyTicket, GatherTicket, RoutingPolicy, StressTarget};
 pub use service::{
-    GraphService, QueueFullPolicy, ReplicaSnapshot, ServiceConfig, ServiceStats, ShardSnapshot,
-    SubmitError, Ticket,
+    GraphService, QueueFullPolicy, ReplicaSeries, ReplicaSnapshot, ServiceConfig, ServiceStats,
+    ShardSnapshot, SubmitError, Ticket,
 };
 pub use shard::ShardedGraphService;

@@ -35,8 +35,21 @@ const SERVING_WORKLOADS: [Workload; 10] = [
     Workload::DualSim,
 ];
 
-/// Domain separator for the operation stream.
-const MIX_STREAM: u64 = 0x4D49_5853; // "MIXS"
+/// Domain separator for the operation stream. Shared with the scenario
+/// engine's [`crate::scenario::PhaseMix`], which must reproduce the exact
+/// per-operation RNG stream so preset desugarings stay bit-identical.
+pub(crate) const MIX_STREAM: u64 = 0x4D49_5853; // "MIXS"
+
+/// The serving-suitable workload pool on `graph`: the subset of
+/// [`SERVING_WORKLOADS`] the graph supports, optionally restricted to
+/// gather-mergeable workloads (those a sharded service can scatter).
+pub(crate) fn serving_pool(graph: &Graph, scatter_only: bool) -> Vec<Workload> {
+    SERVING_WORKLOADS
+        .into_iter()
+        .filter(|&w| service::supported(w, graph).is_ok())
+        .filter(|&w| !scatter_only || service::gather_mode(w) != service::GatherMode::Whole)
+        .collect()
+}
 
 /// A zipfian sampler over ranks `[0, n)` (rank 0 most probable, mass of
 /// rank `k` proportional to `1 / (k+1)^s`), sampled by rejection
@@ -181,14 +194,7 @@ impl Mix {
         let workloads: Vec<Workload> = if point_pct == 100 {
             Vec::new()
         } else {
-            SERVING_WORKLOADS
-                .into_iter()
-                .filter(|&w| service::supported(w, graph).is_ok())
-                .filter(|&w| {
-                    canonical != "scatter"
-                        || service::gather_mode(w) != service::GatherMode::Whole
-                })
-                .collect()
+            serving_pool(graph, canonical == "scatter")
         };
         if point_pct < 100 && workloads.is_empty() {
             return Err(format!(
@@ -231,6 +237,11 @@ impl Mix {
     /// The id range point lookups draw from (`n` except for `hotspot`).
     pub fn vertex_span(&self) -> usize {
         self.vertex_span
+    }
+
+    /// Percentage of operations that are point lookups.
+    pub(crate) fn point_pct(&self) -> u64 {
+        self.point_pct
     }
 
     /// The preset name.

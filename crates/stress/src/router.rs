@@ -37,7 +37,7 @@ use crate::epoch::{WriterReport, WriterStats};
 use crate::request::{
     QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route,
 };
-use crate::service::{GraphService, ShardSnapshot, SubmitError, Ticket};
+use crate::service::{GraphService, ReplicaSeries, ShardSnapshot, SubmitError, Ticket};
 use crate::shard::ShardedGraphService;
 use std::time::{Duration, Instant};
 use vcgp_core::service::{gather_mode, GatherMode, Partial};
@@ -290,6 +290,13 @@ pub trait StressTarget: Sync {
     }
     /// Per-shard identity + counters.
     fn shard_snapshots(&self) -> Vec<ShardSnapshot>;
+    /// Resets every replica core's service-time recorder to measure from
+    /// `origin` with the given interval width — the driver calls this at
+    /// each phase start so the per-replica series are phase-scoped.
+    fn reset_service_log(&self, origin: Instant, interval_ns: u64);
+    /// Per-shard, per-replica service-time series since the last reset
+    /// (outer index = shard, inner = replica).
+    fn replica_series(&self) -> Vec<Vec<ReplicaSeries>>;
     /// Submits one mutation to the write buffer. The default target is
     /// read-only.
     fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
@@ -324,6 +331,14 @@ impl StressTarget for GraphService {
         vec![self.shard_snapshot()]
     }
 
+    fn reset_service_log(&self, origin: Instant, interval_ns: u64) {
+        self.reset_service_log(origin, interval_ns);
+    }
+
+    fn replica_series(&self) -> Vec<Vec<ReplicaSeries>> {
+        self.replica_series()
+    }
+
     fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {
         self.submit_mutation(mutation)
     }
@@ -356,6 +371,14 @@ impl StressTarget for ShardedGraphService {
 
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         self.shard_snapshots()
+    }
+
+    fn reset_service_log(&self, origin: Instant, interval_ns: u64) {
+        self.reset_service_log(origin, interval_ns);
+    }
+
+    fn replica_series(&self) -> Vec<Vec<ReplicaSeries>> {
+        self.replica_series()
     }
 
     fn submit_mutation(&self, mutation: Mutation) -> Result<u64, SubmitError> {

@@ -1,0 +1,1037 @@
+//! Declarative load scenarios: phased, fully seeded workload specs.
+//!
+//! A scenario replaces the driver's hard-coded presets with a small
+//! line-oriented spec: an ordered list of **phases** (warmup / measure /
+//! cooldown — each with its own stopping criterion, target rate, client
+//! count, and op mix) over an **op mix** of weighted operations whose
+//! point-lookup keys come from per-op [`DistSpec`] distributions. Every
+//! draw is a pure function of `(seed, index)` (see [`PhaseMix::op`]), so a
+//! scenario + seed pair reproduces the identical operation stream — and
+//! identical answers — for any client-thread count or interleaving.
+//!
+//! # Spec format
+//!
+//! Line-oriented; `#` starts a comment; indentation is ignored. Errors are
+//! reported with their line number.
+//!
+//! ```text
+//! scenario NAME            # required header
+//! interval MS              # interval-log width (default 1000)
+//! seed N                   # op-stream seed (default 7)
+//! mutation-seed N          # write-stream seed (default 11)
+//! timeout-ms N             # per-attempt timeout (default 5000)
+//! rate R                   # global defaults a phase may override:
+//! clients N                #   target ops/s, client threads, burst
+//! burst N
+//! op KIND WEIGHT [DIST] [span=SPAN]   # default mix (phases may override)
+//!
+//! phase NAME               # one or more phases, run in order
+//!   duration SECS          # stop criteria: wall clock and/or op count
+//!   ops N                  #   (at least one required)
+//!   rate R                 # phase overrides of the globals
+//!   clients N
+//!   burst N
+//!   seed N
+//!   op KIND WEIGHT [DIST] [span=SPAN]
+//! ```
+//!
+//! `KIND` is `point` (degree / neighbor lookups), `analytics` (the
+//! serving-suitable workload pool), `scatter` (gather-mergeable workloads
+//! only), a specific workload name (`pagerank`, `sssp`, …), or `mutate`
+//! (one mutation from the seeded mutation stream). `DIST` and `span=` are
+//! only valid on `point` ops: `DIST` is a [`DistSpec`] token (`uniform`,
+//! `sequential`, `gaussian[:MEAN:STD]`, `zipfian:S`; default `uniform`)
+//! and `SPAN` is `full`, a fraction like `1/8`, or an absolute id count
+//! (default `full`).
+//!
+//! # Bit-identical preset desugaring
+//!
+//! [`PhaseMix::from_mix`] re-expresses a legacy [`Mix`] preset (plus
+//! `--write-ratio`) as a one-phase scenario whose per-operation RNG
+//! consumption replays [`Mix::op`] *exactly*: same stream constant, same
+//! draw order, same write decision. The verify.sh desugar gate holds the
+//! two paths to byte-identical reports.
+
+use crate::dist::{DistSpec, KeySampler};
+use crate::driver::DriverConfig;
+use crate::mix::{serving_pool, Mix, MIX_STREAM};
+use crate::request::QueryKind;
+use std::time::Duration;
+use vcgp_core::{service, Workload};
+use vcgp_graph::rng::mix3;
+use vcgp_graph::{Graph, SplitMix64};
+
+/// Domain separator for the read-vs-write decision per stream index.
+pub(crate) const WRITE_STREAM: u64 = 0x5752_4454; // "WRDT"
+
+/// Every Table 1 workload, for spec-name resolution.
+const ALL_WORKLOADS: [Workload; 20] = [
+    Workload::Diameter,
+    Workload::PageRank,
+    Workload::CcHashMin,
+    Workload::CcSv,
+    Workload::Bcc,
+    Workload::Wcc,
+    Workload::Scc,
+    Workload::EulerTour,
+    Workload::TreeOrder,
+    Workload::SpanningTree,
+    Workload::Mst,
+    Workload::Coloring,
+    Workload::Matching,
+    Workload::BipartiteMatching,
+    Workload::Betweenness,
+    Workload::Sssp,
+    Workload::Apsp,
+    Workload::GraphSim,
+    Workload::DualSim,
+    Workload::StrongSim,
+];
+
+/// Resolves a workload spec name (case-insensitive match of the variant
+/// name, e.g. `pagerank`, `CcHashMin`).
+pub fn parse_workload(token: &str) -> Option<Workload> {
+    ALL_WORKLOADS
+        .into_iter()
+        .find(|w| format!("{w:?}").eq_ignore_ascii_case(token))
+}
+
+/// What one weighted op in a mix is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpClass {
+    /// Degree / neighbor point lookups (key from the op's distribution).
+    Point,
+    /// One workload drawn uniformly from the serving-suitable pool.
+    Analytics,
+    /// Like `analytics`, restricted to gather-mergeable workloads (every
+    /// draw scatters on a sharded service).
+    Scatter,
+    /// One specific workload.
+    Workload(Workload),
+    /// One mutation from the seeded mutation stream.
+    Mutate,
+}
+
+impl OpClass {
+    fn to_text(self) -> String {
+        match self {
+            OpClass::Point => "point".to_string(),
+            OpClass::Analytics => "analytics".to_string(),
+            OpClass::Scatter => "scatter".to_string(),
+            OpClass::Workload(w) => format!("{w:?}").to_ascii_lowercase(),
+            OpClass::Mutate => "mutate".to_string(),
+        }
+    }
+}
+
+/// The id span a point op draws keys from, relative to the graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpanSpec {
+    /// The whole vertex-id space.
+    Full,
+    /// A low-id prefix: `max(1, n · num / den)` ids (the `hotspot` preset
+    /// is `1/8`).
+    Fraction(u64, u64),
+    /// An absolute id count, clamped into `[1, n]`.
+    Absolute(usize),
+}
+
+impl SpanSpec {
+    fn parse(token: &str) -> Result<SpanSpec, String> {
+        if token == "full" {
+            return Ok(SpanSpec::Full);
+        }
+        if let Some((num, den)) = token.split_once('/') {
+            let num: u64 = num.parse().map_err(|_| format!("invalid span fraction {token:?}"))?;
+            let den: u64 = den.parse().map_err(|_| format!("invalid span fraction {token:?}"))?;
+            if num == 0 || den == 0 {
+                return Err(format!("span fraction must be positive, got {token:?}"));
+            }
+            return Ok(SpanSpec::Fraction(num, den));
+        }
+        let abs: usize = token
+            .parse()
+            .map_err(|_| format!("invalid span {token:?} (expected full, N/D, or a count)"))?;
+        if abs == 0 {
+            return Err("span count must be at least 1".to_string());
+        }
+        Ok(SpanSpec::Absolute(abs))
+    }
+
+    fn to_text(self) -> String {
+        match self {
+            SpanSpec::Full => "full".to_string(),
+            SpanSpec::Fraction(n, d) => format!("{n}/{d}"),
+            SpanSpec::Absolute(a) => format!("{a}"),
+        }
+    }
+
+    /// The concrete span on a graph with `n` vertices.
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            SpanSpec::Full => n.max(1),
+            SpanSpec::Fraction(num, den) => {
+                ((n as u64).saturating_mul(num) / den).max(1) as usize
+            }
+            SpanSpec::Absolute(a) => a.clamp(1, n.max(1)),
+        }
+    }
+}
+
+/// One weighted operation in a mix, as parsed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSpec {
+    /// What the op does.
+    pub kind: OpClass,
+    /// Relative weight (probability mass `weight / Σ weights`).
+    pub weight: u64,
+    /// Key distribution (point ops only).
+    pub dist: DistSpec,
+    /// Key span (point ops only).
+    pub span: SpanSpec,
+}
+
+/// One phase, as parsed. `None` fields inherit the scenario's globals (or
+/// the built-in defaults) at resolution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseSpec {
+    /// Phase name (reported per phase).
+    pub name: String,
+    /// Wall-clock stop criterion, seconds.
+    pub duration: Option<f64>,
+    /// Op-count stop criterion.
+    pub ops: Option<u64>,
+    /// Target rate override.
+    pub rate: Option<f64>,
+    /// Burst override.
+    pub burst: Option<u32>,
+    /// Client-thread override.
+    pub clients: Option<usize>,
+    /// Op-stream seed override (default: scenario seed + phase index).
+    pub seed: Option<u64>,
+    /// The phase's own mix; empty = inherit the scenario's default ops.
+    pub ops_mix: Vec<OpSpec>,
+}
+
+/// A parsed scenario spec (see the module docs for the format). All
+/// optional fields are `None` when the spec omitted them, so a caller (the
+/// stress binary) can layer CLI defaults underneath before resolving.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Scenario name (the report's `scenario` field).
+    pub name: String,
+    /// Interval-log width in milliseconds.
+    pub interval_ms: Option<u64>,
+    /// Op-stream base seed.
+    pub seed: Option<u64>,
+    /// Mutation-stream base seed.
+    pub mutation_seed: Option<u64>,
+    /// Per-attempt timeout in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Global target rate (ops/s).
+    pub rate: Option<f64>,
+    /// Global burst allowance.
+    pub burst: Option<u32>,
+    /// Global client-thread count.
+    pub clients: Option<usize>,
+    /// Default mix for phases without their own `op` lines.
+    pub default_ops: Vec<OpSpec>,
+    /// The phases, in run order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+/// Formats a float so `parse` round-trips it (`1` not `1.0` is fine — both
+/// re-parse to the same value).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+impl ScenarioSpec {
+    /// Parses a spec document, reporting malformed lines as
+    /// `line N: <problem>`.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec::default();
+        let mut saw_header = false;
+        let mut in_phase = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let err = |msg: String| format!("line {line_no}: {msg}");
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let keyword = tokens[0];
+            let arg = |what: &str| -> Result<&str, String> {
+                if tokens.len() != 2 {
+                    return Err(err(format!("'{keyword}' takes exactly one {what}")));
+                }
+                Ok(tokens[1])
+            };
+            match keyword {
+                "scenario" => {
+                    if saw_header {
+                        return Err(err("duplicate 'scenario' header".to_string()));
+                    }
+                    saw_header = true;
+                    spec.name = arg("name")?.to_string();
+                }
+                "phase" => {
+                    in_phase = true;
+                    spec.phases.push(PhaseSpec {
+                        name: arg("name")?.to_string(),
+                        ..PhaseSpec::default()
+                    });
+                }
+                "interval" => {
+                    let ms: u64 = parse_num(arg("value")?, "interval", &err)?;
+                    if ms == 0 {
+                        return Err(err("interval must be at least 1 ms".to_string()));
+                    }
+                    set_once(&mut spec.interval_ms, ms, "interval", &err)?;
+                }
+                "seed" => {
+                    let v = parse_num(arg("value")?, "seed", &err)?;
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.seed, v, "seed", &err)?,
+                        None => set_once(&mut spec.seed, v, "seed", &err)?,
+                    }
+                }
+                "mutation-seed" => {
+                    if in_phase {
+                        return Err(err(
+                            "'mutation-seed' is scenario-global (set it before any phase)"
+                                .to_string(),
+                        ));
+                    }
+                    let v = parse_num(arg("value")?, "mutation-seed", &err)?;
+                    set_once(&mut spec.mutation_seed, v, "mutation-seed", &err)?;
+                }
+                "timeout-ms" => {
+                    if in_phase {
+                        return Err(err(
+                            "'timeout-ms' is scenario-global (set it before any phase)".to_string(),
+                        ));
+                    }
+                    let v: u64 = parse_num(arg("value")?, "timeout-ms", &err)?;
+                    if v == 0 {
+                        return Err(err("timeout must be at least 1 ms".to_string()));
+                    }
+                    set_once(&mut spec.timeout_ms, v, "timeout-ms", &err)?;
+                }
+                "rate" => {
+                    let v: f64 = parse_num(arg("value")?, "rate", &err)?;
+                    if !(v > 0.0 && v.is_finite()) {
+                        return Err(err(format!("rate must be positive and finite, got {v}")));
+                    }
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.rate, v, "rate", &err)?,
+                        None => set_once(&mut spec.rate, v, "rate", &err)?,
+                    }
+                }
+                "burst" => {
+                    let v: u32 = parse_num(arg("value")?, "burst", &err)?;
+                    if v == 0 {
+                        return Err(err("burst must be at least 1".to_string()));
+                    }
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.burst, v, "burst", &err)?,
+                        None => set_once(&mut spec.burst, v, "burst", &err)?,
+                    }
+                }
+                "clients" => {
+                    let v: usize = parse_num(arg("value")?, "clients", &err)?;
+                    if v == 0 {
+                        return Err(err("clients must be at least 1".to_string()));
+                    }
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.clients, v, "clients", &err)?,
+                        None => set_once(&mut spec.clients, v, "clients", &err)?,
+                    }
+                }
+                "duration" => {
+                    let v: f64 = parse_num(arg("value")?, "duration", &err)?;
+                    if !(v > 0.0 && v.is_finite()) {
+                        return Err(err(format!(
+                            "duration must be positive and finite, got {v}"
+                        )));
+                    }
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.duration, v, "duration", &err)?,
+                        None => return Err(err("'duration' belongs inside a phase".to_string())),
+                    }
+                }
+                "ops" => {
+                    let v: u64 = parse_num(arg("value")?, "ops", &err)?;
+                    if v == 0 {
+                        return Err(err("ops must be at least 1".to_string()));
+                    }
+                    match spec.phases.last_mut() {
+                        Some(p) => set_once(&mut p.ops, v, "ops", &err)?,
+                        None => return Err(err("'ops' belongs inside a phase".to_string())),
+                    }
+                }
+                "op" => {
+                    let op = parse_op(&tokens[1..]).map_err(&err)?;
+                    match spec.phases.last_mut() {
+                        Some(p) => p.ops_mix.push(op),
+                        None => spec.default_ops.push(op),
+                    }
+                }
+                other => {
+                    return Err(err(format!(
+                        "unknown keyword {other:?} (expected scenario, interval, seed, \
+                         mutation-seed, timeout-ms, rate, burst, clients, op, phase, \
+                         duration, or ops)"
+                    )))
+                }
+            }
+        }
+        if !saw_header {
+            return Err("missing 'scenario NAME' header".to_string());
+        }
+        if spec.phases.is_empty() {
+            return Err("scenario declares no phases".to_string());
+        }
+        for (i, p) in spec.phases.iter().enumerate() {
+            if p.duration.is_none() && p.ops.is_none() {
+                return Err(format!(
+                    "phase {:?} (#{}) has no stop criterion (set duration and/or ops)",
+                    p.name,
+                    i + 1
+                ));
+            }
+            if p.ops_mix.is_empty() && spec.default_ops.is_empty() {
+                return Err(format!(
+                    "phase {:?} (#{}) has no op mix and the scenario declares no default ops",
+                    p.name,
+                    i + 1
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The canonical spec text; `parse(to_text())` reproduces the spec
+    /// exactly (the round-trip property the tests enforce).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("scenario {}\n", self.name);
+        for (key, v) in [
+            ("interval", self.interval_ms.map(|v| v.to_string())),
+            ("seed", self.seed.map(|v| v.to_string())),
+            ("mutation-seed", self.mutation_seed.map(|v| v.to_string())),
+            ("timeout-ms", self.timeout_ms.map(|v| v.to_string())),
+            ("rate", self.rate.map(num)),
+            ("burst", self.burst.map(|v| v.to_string())),
+            ("clients", self.clients.map(|v| v.to_string())),
+        ] {
+            if let Some(v) = v {
+                out.push_str(&format!("{key} {v}\n"));
+            }
+        }
+        for op in &self.default_ops {
+            out.push_str(&op_text(op));
+        }
+        for p in &self.phases {
+            out.push_str(&format!("\nphase {}\n", p.name));
+            if let Some(v) = p.duration {
+                out.push_str(&format!("  duration {}\n", num(v)));
+            }
+            if let Some(v) = p.ops {
+                out.push_str(&format!("  ops {v}\n"));
+            }
+            if let Some(v) = p.rate {
+                out.push_str(&format!("  rate {}\n", num(v)));
+            }
+            if let Some(v) = p.burst {
+                out.push_str(&format!("  burst {v}\n"));
+            }
+            if let Some(v) = p.clients {
+                out.push_str(&format!("  clients {v}\n"));
+            }
+            if let Some(v) = p.seed {
+                out.push_str(&format!("  seed {v}\n"));
+            }
+            for op in &p.ops_mix {
+                out.push_str(&format!("  {}", op_text(op)));
+            }
+        }
+        out
+    }
+
+    /// Resolves the spec against a graph into a runnable [`Scenario`]:
+    /// defaults filled, phase mixes compiled, workload pools validated.
+    pub fn resolve(&self, graph: &Graph) -> Result<Scenario, String> {
+        let base_seed = self.seed.unwrap_or(7);
+        let base_mutation_seed = self.mutation_seed.unwrap_or(11);
+        let phases = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let ops = if p.ops_mix.is_empty() { &self.default_ops } else { &p.ops_mix };
+                let mix = PhaseMix::from_specs(ops, graph)
+                    .map_err(|e| format!("phase {:?}: {e}", p.name))?;
+                Ok(Phase {
+                    name: p.name.clone(),
+                    duration: p.duration.map(Duration::from_secs_f64),
+                    ops_limit: p.ops,
+                    rate: p.rate.or(self.rate),
+                    burst: p.burst.or(self.burst).unwrap_or(1),
+                    clients: p.clients.or(self.clients).unwrap_or(4),
+                    // Phase i defaults to base seed + i so phases draw
+                    // distinct streams; phase 0 keeps the base seed itself,
+                    // which is what makes one-phase desugarings of the
+                    // legacy presets bit-identical.
+                    seed: p.seed.unwrap_or(base_seed.wrapping_add(i as u64)),
+                    mutation_seed: base_mutation_seed.wrapping_add(i as u64),
+                    mix,
+                })
+            })
+            .collect::<Result<Vec<Phase>, String>>()?;
+        Ok(Scenario {
+            name: self.name.clone(),
+            interval: Duration::from_millis(self.interval_ms.unwrap_or(1000)),
+            seed: base_seed,
+            timeout: Duration::from_millis(self.timeout_ms.unwrap_or(5000)),
+            phases,
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    s: &str,
+    what: &str,
+    err: &impl Fn(String) -> String,
+) -> Result<T, String> {
+    s.parse().map_err(|_| err(format!("invalid {what} value {s:?}")))
+}
+
+fn set_once<T>(
+    slot: &mut Option<T>,
+    value: T,
+    what: &str,
+    err: &impl Fn(String) -> String,
+) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(err(format!("duplicate '{what}'")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Parses the tokens after `op`: `KIND WEIGHT [DIST] [span=SPAN]`.
+fn parse_op(tokens: &[&str]) -> Result<OpSpec, String> {
+    if tokens.len() < 2 {
+        return Err("'op' needs a kind and a weight".to_string());
+    }
+    let kind = match tokens[0] {
+        "point" => OpClass::Point,
+        "analytics" => OpClass::Analytics,
+        "scatter" => OpClass::Scatter,
+        "mutate" => OpClass::Mutate,
+        name => OpClass::Workload(parse_workload(name).ok_or_else(|| {
+            format!(
+                "unknown op kind {name:?} (expected point, analytics, scatter, mutate, \
+                 or a workload name)"
+            )
+        })?),
+    };
+    let weight: u64 = tokens[1]
+        .parse()
+        .map_err(|_| format!("invalid op weight {:?}", tokens[1]))?;
+    if weight == 0 {
+        return Err("op weight must be at least 1".to_string());
+    }
+    let mut dist = None;
+    let mut span = None;
+    for &t in &tokens[2..] {
+        if let Some(spec) = t.strip_prefix("span=") {
+            if span.is_some() {
+                return Err(format!("duplicate span on op {:?}", tokens[0]));
+            }
+            span = Some(SpanSpec::parse(spec)?);
+        } else {
+            if dist.is_some() {
+                return Err(format!("duplicate distribution on op {:?}", tokens[0]));
+            }
+            dist = Some(DistSpec::parse(t)?);
+        }
+    }
+    if kind != OpClass::Point && (dist.is_some() || span.is_some()) {
+        return Err(format!(
+            "op {:?} takes no distribution or span (only 'point' draws keys)",
+            tokens[0]
+        ));
+    }
+    Ok(OpSpec {
+        kind,
+        weight,
+        dist: dist.unwrap_or(DistSpec::Uniform),
+        span: span.unwrap_or(SpanSpec::Full),
+    })
+}
+
+fn op_text(op: &OpSpec) -> String {
+    match op.kind {
+        OpClass::Point => format!(
+            "op point {} {} span={}\n",
+            op.weight,
+            op.dist.to_text(),
+            op.span.to_text()
+        ),
+        kind => format!("op {} {}\n", kind.to_text(), op.weight),
+    }
+}
+
+/// A resolved, runnable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (the report's `scenario` field).
+    pub name: String,
+    /// Interval-log width.
+    pub interval: Duration,
+    /// Base op-stream seed (reported; phases carry their own).
+    pub seed: u64,
+    /// Per-attempt timeout stamped on every request.
+    pub timeout: Duration,
+    /// The phases, in run order.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// The one-phase scenario a legacy preset run desugars to: same mix,
+    /// same seeds, same pacing — [`crate::driver::run`] routes through this,
+    /// so the legacy CLI surface *is* a scenario and stays bit-identical to
+    /// its pre-scenario behavior.
+    pub fn from_legacy(mix: &Mix, cfg: &DriverConfig) -> Scenario {
+        Scenario {
+            name: mix.name().to_string(),
+            interval: cfg.interval,
+            seed: cfg.seed,
+            timeout: cfg.timeout,
+            phases: vec![Phase {
+                name: "main".to_string(),
+                duration: Some(cfg.duration),
+                ops_limit: cfg.ops_limit,
+                rate: cfg.rate,
+                burst: cfg.burst,
+                clients: cfg.clients,
+                seed: cfg.seed,
+                mutation_seed: cfg.mutation_seed,
+                mix: PhaseMix::from_mix(mix, cfg.write_ratio),
+            }],
+        }
+    }
+
+    /// True when any phase can issue mutations (the service needs a
+    /// [`crate::epoch::MutationConfig`] then).
+    pub fn has_writes(&self) -> bool {
+        self.phases.iter().any(|p| p.mix.write_ppm() > 0)
+    }
+}
+
+/// One resolved phase.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name (reported per phase).
+    pub name: String,
+    /// Wall-clock stop criterion.
+    pub duration: Option<Duration>,
+    /// Op-count stop criterion.
+    pub ops_limit: Option<u64>,
+    /// Target rate (`None` = unthrottled).
+    pub rate: Option<f64>,
+    /// Token-bucket burst allowance.
+    pub burst: u32,
+    /// Client threads.
+    pub clients: usize,
+    /// Op-stream seed.
+    pub seed: u64,
+    /// Mutation-stream seed (write decision + mutation draw).
+    pub mutation_seed: u64,
+    /// The compiled op mix.
+    pub mix: PhaseMix,
+}
+
+enum MixAction {
+    /// A point lookup; the key comes from the sampler, then one bool draw
+    /// picks degree vs neighbors.
+    Point(KeySampler),
+    /// One workload drawn uniformly from a pool.
+    Pool(Vec<Workload>),
+    /// One fixed workload (no further RNG consumption).
+    Fixed(Workload),
+}
+
+struct MixEntry {
+    /// Exclusive cumulative-weight upper bound: the entry serves rolls in
+    /// `[previous cum, cum)`.
+    cum: u64,
+    action: MixAction,
+}
+
+/// A compiled op mix: weighted entries over a cumulative-weight roll, plus
+/// the write probability in parts per million. [`PhaseMix::op`] is a pure
+/// function of `(seed, index)` exactly like [`Mix::op`] — one fresh
+/// [`SplitMix64`] per operation, consumed in a fixed draw order.
+pub struct PhaseMix {
+    /// Sum of non-mutate weights (the roll modulus).
+    total: u64,
+    /// Probability a stream index is a write, in parts per million.
+    write_ppm: u64,
+    entries: Vec<MixEntry>,
+}
+
+impl std::fmt::Debug for PhaseMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseMix")
+            .field("total", &self.total)
+            .field("write_ppm", &self.write_ppm)
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Clone for PhaseMix {
+    fn clone(&self) -> PhaseMix {
+        PhaseMix {
+            total: self.total,
+            write_ppm: self.write_ppm,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| MixEntry {
+                    cum: e.cum,
+                    action: match &e.action {
+                        MixAction::Point(s) => MixAction::Point(*s),
+                        MixAction::Pool(p) => MixAction::Pool(p.clone()),
+                        MixAction::Fixed(w) => MixAction::Fixed(*w),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl PhaseMix {
+    /// Compiles parsed op specs against a graph. Fails when a pool is
+    /// empty on this graph, a named workload is unsupported, or the mix
+    /// has no servable mass (all-mutate mixes are allowed — every index is
+    /// a write then).
+    pub fn from_specs(ops: &[OpSpec], graph: &Graph) -> Result<PhaseMix, String> {
+        let total_all: u64 = ops.iter().map(|o| o.weight).sum();
+        let mutate: u64 = ops
+            .iter()
+            .filter(|o| o.kind == OpClass::Mutate)
+            .map(|o| o.weight)
+            .sum();
+        let total = total_all - mutate;
+        let write_ppm = if mutate == 0 { 0 } else { mutate * 1_000_000 / total_all };
+        if total == 0 && write_ppm < 1_000_000 {
+            return Err("op mix has no read operations".to_string());
+        }
+        let n = graph.num_vertices();
+        let mut entries = Vec::new();
+        let mut cum = 0u64;
+        for op in ops {
+            if op.kind == OpClass::Mutate {
+                continue;
+            }
+            cum += op.weight;
+            let action = match op.kind {
+                OpClass::Point => MixAction::Point(op.dist.sampler(op.span.resolve(n))),
+                OpClass::Analytics => {
+                    let pool = serving_pool(graph, false);
+                    if pool.is_empty() {
+                        return Err(
+                            "'analytics' op: this graph supports no serving workloads".to_string()
+                        );
+                    }
+                    MixAction::Pool(pool)
+                }
+                OpClass::Scatter => {
+                    let pool = serving_pool(graph, true);
+                    if pool.is_empty() {
+                        return Err(
+                            "'scatter' op: this graph supports no gather-mergeable workloads"
+                                .to_string(),
+                        );
+                    }
+                    MixAction::Pool(pool)
+                }
+                OpClass::Workload(w) => {
+                    service::supported(w, graph)
+                        .map_err(|e| format!("op {:?}: {e}", op.kind.to_text()))?;
+                    MixAction::Fixed(w)
+                }
+                OpClass::Mutate => unreachable!(),
+            };
+            entries.push(MixEntry { cum, action });
+        }
+        Ok(PhaseMix { total, write_ppm, entries })
+    }
+
+    /// The desugaring of a legacy [`Mix`] preset plus `--write-ratio`:
+    /// reproduces [`Mix::op`]'s RNG consumption draw for draw (total 100,
+    /// point entry first, pool second), so the resulting op stream is
+    /// byte-identical to the preset's.
+    pub fn from_mix(mix: &Mix, write_ratio: f64) -> PhaseMix {
+        let mut entries = Vec::new();
+        let point_pct = mix.point_pct();
+        if point_pct > 0 {
+            let dist = match mix.zipf() {
+                Some(z) => DistSpec::Zipfian(z.exponent()),
+                None => DistSpec::Uniform,
+            };
+            entries.push(MixEntry {
+                cum: point_pct,
+                action: MixAction::Point(dist.sampler(mix.vertex_span())),
+            });
+        }
+        if point_pct < 100 {
+            entries.push(MixEntry {
+                cum: 100,
+                action: MixAction::Pool(mix.workloads().to_vec()),
+            });
+        }
+        PhaseMix {
+            total: 100,
+            // The exact expression of the legacy driver's write gate.
+            write_ppm: (write_ratio * 1e6) as u64,
+            entries,
+        }
+    }
+
+    /// Probability a stream index is a write, in parts per million.
+    pub fn write_ppm(&self) -> u64 {
+        self.write_ppm
+    }
+
+    /// True when stream index `index` issues a mutation instead of a read
+    /// — a pure function of `(mutation_seed, index)` that consumes nothing
+    /// from the op RNG, so the read stream under `write_ppm = 0` is
+    /// bit-identical to a mix with no write path at all.
+    pub fn is_write(&self, mutation_seed: u64, index: u64) -> bool {
+        self.write_ppm > 0
+            && mix3(mutation_seed, index, WRITE_STREAM) % 1_000_000 < self.write_ppm
+    }
+
+    /// The read operation at `index` in the stream seeded by `seed` — a
+    /// pure function of its arguments (same construction as [`Mix::op`]).
+    /// Only meaningful for indices where [`PhaseMix::is_write`] is false.
+    pub fn op(&self, seed: u64, index: u64) -> QueryKind {
+        assert!(self.total > 0, "an all-mutate mix has no read operations");
+        let mut rng = SplitMix64::new(mix3(seed, index, MIX_STREAM));
+        let roll = rng.next_below(self.total);
+        for entry in &self.entries {
+            if roll < entry.cum {
+                return match &entry.action {
+                    MixAction::Point(sampler) => {
+                        let v = sampler.sample(index, &mut rng);
+                        if rng.next_bool(0.5) {
+                            QueryKind::Degree(v)
+                        } else {
+                            QueryKind::Neighbors(v)
+                        }
+                    }
+                    MixAction::Pool(pool) => {
+                        QueryKind::Workload(pool[rng.next_index(pool.len())])
+                    }
+                    MixAction::Fixed(w) => QueryKind::Workload(*w),
+                };
+            }
+        }
+        unreachable!("roll below total always lands in an entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgp_graph::generators;
+
+    const SPEC: &str = "\
+# A two-phase scenario exercising most of the grammar.
+scenario demo
+interval 500
+seed 21
+mutation-seed 13
+timeout-ms 2000
+clients 2
+op point 80 zipfian:1.1 span=1/8
+op analytics 20
+
+phase warmup
+  duration 0.5
+  rate 200
+
+phase measure
+  ops 400
+  clients 4
+  seed 99
+  op point 70 gaussian span=full
+  op sssp 20
+  op mutate 10
+";
+
+    fn graph() -> Graph {
+        generators::gnm_connected(64, 160, 5)
+    }
+
+    #[test]
+    fn parse_reads_the_whole_grammar() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.interval_ms, Some(500));
+        assert_eq!(spec.seed, Some(21));
+        assert_eq!(spec.mutation_seed, Some(13));
+        assert_eq!(spec.clients, Some(2));
+        assert_eq!(spec.default_ops.len(), 2);
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.phases[0].rate, Some(200.0));
+        assert!(spec.phases[0].ops_mix.is_empty());
+        assert_eq!(spec.phases[1].ops, Some(400));
+        assert_eq!(spec.phases[1].ops_mix.len(), 3);
+        assert_eq!(spec.phases[1].ops_mix[1].kind, OpClass::Workload(Workload::Sssp));
+        assert_eq!(spec.phases[1].ops_mix[2].kind, OpClass::Mutate);
+    }
+
+    #[test]
+    fn to_text_round_trips() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let reparsed = ScenarioSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn malformed_specs_fail_with_line_numbers() {
+        for (text, line, needle) in [
+            ("interval 5\nphase p\n ops 1\n op point 1\n", 0, "missing 'scenario"),
+            ("scenario s\nbogus 1\n", 2, "unknown keyword"),
+            ("scenario s\nphase p\nduration 0\n", 3, "positive"),
+            ("scenario s\nop point 0\n", 2, "weight"),
+            ("scenario s\nop mutate 5 uniform\nphase p\nops 1\n", 2, "no distribution"),
+            ("scenario s\nop point 1 zipfian:0\n", 2, "zipfian"),
+            ("scenario s\nop nosuch 1\n", 2, "unknown op kind"),
+            ("scenario s\nseed 1\nseed 2\n", 3, "duplicate"),
+            ("scenario s\nphase p\nop point 1\n", 0, "no stop criterion"),
+            ("scenario s\nphase p\nops 5\n", 0, "no op mix"),
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            if line > 0 {
+                assert!(e.starts_with(&format!("line {line}:")), "{text:?} -> {e}");
+            }
+            assert!(e.contains(needle), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn resolve_fills_defaults_and_offsets_phase_seeds() {
+        let g = graph();
+        let sc = ScenarioSpec::parse(SPEC).unwrap().resolve(&g).unwrap();
+        assert_eq!(sc.phases.len(), 2);
+        assert_eq!(sc.interval, Duration::from_millis(500));
+        // Phase 0 inherits the defaults: base seed, global clients/rate.
+        assert_eq!(sc.phases[0].seed, 21);
+        assert_eq!(sc.phases[0].mutation_seed, 13);
+        assert_eq!(sc.phases[0].clients, 2);
+        assert_eq!(sc.phases[0].rate, Some(200.0));
+        // Phase 1 overrides seed and clients; inherits no rate.
+        assert_eq!(sc.phases[1].seed, 99);
+        assert_eq!(sc.phases[1].mutation_seed, 14);
+        assert_eq!(sc.phases[1].clients, 4);
+        assert_eq!(sc.phases[1].rate, None);
+        assert!(sc.has_writes());
+        assert_eq!(sc.phases[1].mix.write_ppm(), 100_000);
+    }
+
+    #[test]
+    fn phase_mix_ops_are_pure_and_match_their_weights() {
+        let g = graph();
+        let sc = ScenarioSpec::parse(SPEC).unwrap().resolve(&g).unwrap();
+        let mix = &sc.phases[1].mix;
+        let mut points = 0;
+        for i in 0..600u64 {
+            let op = mix.op(5, i);
+            assert_eq!(op, mix.op(5, i), "index {i}");
+            match op {
+                QueryKind::Degree(v) | QueryKind::Neighbors(v) => {
+                    points += 1;
+                    assert!((v as usize) < g.num_vertices());
+                }
+                QueryKind::Workload(w) => assert_eq!(w, Workload::Sssp),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        // point weight 70 of 90 read mass ≈ 78%.
+        assert!((400..=530).contains(&points), "{points} points of 600");
+    }
+
+    #[test]
+    fn from_mix_replays_the_legacy_preset_exactly() {
+        let g = graph();
+        for preset in ["points", "mixed", "analytics", "hotspot"] {
+            let legacy = Mix::preset(preset, &g).unwrap();
+            let desugared = PhaseMix::from_mix(&legacy, 0.0);
+            for i in 0..400u64 {
+                assert_eq!(legacy.op(7, i), desugared.op(7, i), "{preset} index {i}");
+            }
+        }
+        // And with a zipfian key draw layered on.
+        let legacy = Mix::preset("hotspot", &g).unwrap().with_zipf(1.2).unwrap();
+        let desugared = PhaseMix::from_mix(&legacy, 0.0);
+        for i in 0..400u64 {
+            assert_eq!(legacy.op(7, i), desugared.op(7, i), "zipf index {i}");
+        }
+    }
+
+    #[test]
+    fn write_decision_matches_the_legacy_gate() {
+        let g = graph();
+        let legacy = Mix::preset("mixed", &g).unwrap();
+        let ratio = 0.1f64;
+        let desugared = PhaseMix::from_mix(&legacy, ratio);
+        let mut writes = 0;
+        for i in 0..2000u64 {
+            let expect = mix3(11, i, WRITE_STREAM) % 1_000_000 < (ratio * 1e6) as u64;
+            assert_eq!(desugared.is_write(11, i), expect, "index {i}");
+            writes += u64::from(expect);
+        }
+        assert!(writes > 100, "write gate never fired");
+        // Ratio 0 never writes.
+        let frozen = PhaseMix::from_mix(&legacy, 0.0);
+        assert!((0..2000u64).all(|i| !frozen.is_write(11, i)));
+    }
+
+    #[test]
+    fn all_mutate_mix_is_pure_write() {
+        let g = graph();
+        let ops = [OpSpec {
+            kind: OpClass::Mutate,
+            weight: 3,
+            dist: DistSpec::Uniform,
+            span: SpanSpec::Full,
+        }];
+        let mix = PhaseMix::from_specs(&ops, &g).unwrap();
+        assert_eq!(mix.write_ppm(), 1_000_000);
+        assert!((0..500u64).all(|i| mix.is_write(11, i)));
+    }
+
+    #[test]
+    fn span_specs_resolve_like_the_presets() {
+        assert_eq!(SpanSpec::Full.resolve(64), 64);
+        assert_eq!(SpanSpec::Fraction(1, 8).resolve(64), 8);
+        // hotspot's (n/8).max(1) on a tiny graph:
+        assert_eq!(SpanSpec::Fraction(1, 8).resolve(5), 1);
+        assert_eq!(SpanSpec::Absolute(10).resolve(4), 4);
+        assert_eq!(SpanSpec::Absolute(3).resolve(64), 3);
+    }
+
+    #[test]
+    fn workload_names_resolve_case_insensitively() {
+        assert_eq!(parse_workload("pagerank"), Some(Workload::PageRank));
+        assert_eq!(parse_workload("CcHashMin"), Some(Workload::CcHashMin));
+        assert_eq!(parse_workload("nope"), None);
+    }
+}

@@ -45,8 +45,10 @@ use crate::epoch::{
     spawn_writer, EpochManager, EpochRebuild, EpochSnapshot, MutationConfig, WriterReport,
     WriterStats,
 };
+use crate::interval::IntervalSeries;
 use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest, QueryResponse, Route};
 use crate::router::RoutingPolicy;
+use vcgp_testkit::LogHistogram;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -261,6 +263,58 @@ impl ServiceStats {
     }
 }
 
+/// One replica core's measured service times: the run-total histogram plus
+/// the per-interval series, merged across the core's executor threads.
+/// The two are recorded by the same call, so the series' slots fold
+/// *exactly* to `service` — the identity `--validate-report` checks per
+/// replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaSeries {
+    /// Every executed request's service time since the last reset.
+    pub service: LogHistogram,
+    /// The same samples bucketed by completion interval.
+    pub intervals: IntervalSeries,
+}
+
+/// One executor thread's service-time recorder. Each executor owns its own
+/// mutex-guarded log (uncontended except during driver resets/reads), so
+/// recording never crosses threads on the hot path.
+struct ServiceLog {
+    /// The instant interval indices are measured from (a phase start).
+    origin: Instant,
+    total: LogHistogram,
+    series: IntervalSeries,
+}
+
+impl ServiceLog {
+    fn new() -> ServiceLog {
+        ServiceLog {
+            origin: Instant::now(),
+            total: LogHistogram::new(),
+            series: IntervalSeries::new(1_000_000_000),
+        }
+    }
+
+    fn record(&mut self, service_time: Duration, ok: bool) {
+        let at = Instant::now()
+            .saturating_duration_since(self.origin)
+            .as_nanos() as u64;
+        let v = service_time.as_nanos() as u64;
+        self.total.record(v);
+        self.series.record(at, v, ok);
+    }
+
+    fn reset(&mut self, origin: Instant, interval_ns: u64) {
+        self.origin = origin;
+        self.total.clear();
+        if self.series.interval_ns() == interval_ns {
+            self.series.clear();
+        } else {
+            self.series = IntervalSeries::new(interval_ns);
+        }
+    }
+}
+
 /// One replica core's identity and counters within a shard. The cache
 /// fields of `stats` are always zero here: the result cache is shared by
 /// every replica of a shard (a hit on any replica serves the shard), so
@@ -374,6 +428,9 @@ struct Shared {
     /// (`Arc`) across every replica core of a shard, so keys stay
     /// replica-agnostic and a hit on any replica serves the shard.
     cache: Option<Arc<ResultCache>>,
+    /// One service-time recorder per executor thread (executor `i` locks
+    /// only `logs[i]`).
+    logs: Box<[Mutex<ServiceLog>]>,
 }
 
 /// How an executor turns a dequeued request into an output. Implemented by
@@ -499,6 +556,7 @@ impl Core {
             capacity: config.queue_capacity,
             counters: Counters::new(config.executors),
             cache,
+            logs: (0..config.executors).map(|_| Mutex::new(ServiceLog::new())).collect(),
         });
         let workers = (0..config.executors)
             .map(|i| {
@@ -664,6 +722,35 @@ impl Core {
 
     pub(crate) fn queue_depth(&self) -> usize {
         self.shared.state.lock().unwrap().jobs.len()
+    }
+
+    /// Resets every executor's service-time recorder to a fresh log whose
+    /// intervals are measured from `origin` with the given width — how the
+    /// driver scopes the per-replica series to one run (or phase).
+    pub(crate) fn reset_service_log(&self, origin: Instant, interval_ns: u64) {
+        for log in self.shared.logs.iter() {
+            log.lock().unwrap().reset(origin, interval_ns);
+        }
+    }
+
+    /// The core's service times since the last reset, merged across its
+    /// executor threads (histogram merges are exact, so the fold identity
+    /// between `service` and `intervals` survives the merge).
+    pub(crate) fn service_series(&self) -> ReplicaSeries {
+        let mut logs = self.shared.logs.iter();
+        let first = logs.next().expect("core has at least one executor");
+        let first = first.lock().unwrap();
+        let mut out = ReplicaSeries {
+            service: first.total.clone(),
+            intervals: first.series.clone(),
+        };
+        drop(first);
+        for log in logs {
+            let log = log.lock().unwrap();
+            out.service.merge(&log.total);
+            out.intervals.merge(&log.series);
+        }
+        out
     }
 }
 
@@ -949,6 +1036,18 @@ impl GraphService {
         }
     }
 
+    /// Resets the service-time recorders to measure from `origin` with the
+    /// given interval width (see [`Core::reset_service_log`]).
+    pub fn reset_service_log(&self, origin: Instant, interval_ns: u64) {
+        self.core.reset_service_log(origin, interval_ns);
+    }
+
+    /// Per-shard, per-replica service-time series since the last reset —
+    /// the single-instance service is one shard with one replica.
+    pub fn replica_series(&self) -> Vec<Vec<ReplicaSeries>> {
+        vec![vec![self.core.service_series()]]
+    }
+
     /// Drops every result-cache entry. The invalidation hook that any
     /// future graph swap must fire before serving against the new graph
     /// (a no-op when caching is disabled).
@@ -993,6 +1092,10 @@ fn executor_loop(backend: &dyn ExecBackend, shared: &Shared, config: &ServiceCon
         };
         shared.not_full.notify_one();
         let response = serve(backend, shared, config, &job.req, job.enqueued_at, slot);
+        shared.logs[index]
+            .lock()
+            .unwrap()
+            .record(response.service_time, response.result.is_ok());
         if response.result.is_ok() {
             slot.completed.fetch_add(1, Ordering::Relaxed);
         } else {

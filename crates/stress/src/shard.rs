@@ -52,9 +52,10 @@ use crate::request::{QueryError, QueryKind, QueryOutput, QueryRequest};
 use crate::router::RoutingPolicy;
 use crate::service::{
     execute_on_full_graph, overlay_cache, service_cache, workload_cache_key, CacheInvalidator,
-    Core, ExecBackend, ReplicaSnapshot, ServiceConfig, ServiceStats, ShardSnapshot, SubmitError,
-    Ticket,
+    Core, ExecBackend, ReplicaSeries, ReplicaSnapshot, ServiceConfig, ServiceStats, ShardSnapshot,
+    SubmitError, Ticket,
 };
+use std::time::Instant;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -605,6 +606,25 @@ impl ShardedGraphService {
     /// least-loaded policy reads).
     pub fn replica_queue_depths(&self, shard: usize) -> Vec<usize> {
         self.shards[shard].replicas.iter().map(Core::queue_depth).collect()
+    }
+
+    /// Resets the service-time recorders of every replica core of every
+    /// shard to measure from `origin` with the given interval width.
+    pub fn reset_service_log(&self, origin: Instant, interval_ns: u64) {
+        for sh in &self.shards {
+            for core in &sh.replicas {
+                core.reset_service_log(origin, interval_ns);
+            }
+        }
+    }
+
+    /// Per-shard, per-replica service-time series since the last reset
+    /// (outer index = shard, inner = replica).
+    pub fn replica_series(&self) -> Vec<Vec<ReplicaSeries>> {
+        self.shards
+            .iter()
+            .map(|sh| sh.replicas.iter().map(Core::service_series).collect())
+            .collect()
     }
 }
 

@@ -200,4 +200,35 @@ if [ "$q2" -ge "$q1" ]; then
 fi
 echo "   ok: answers identical, hot queue hwm $q1 (R=1) -> $q2 (R=2)"
 
+echo "== scenario smoke (checked-in 2-phase spec — zipfian warmup, measured"
+echo "   phase with analytics + writes — on a replicated sharded service;"
+echo "   --validate-report enforces the per-phase and per-replica interval"
+echo "   fold identities, and both phases must appear in the report)"
+./target/release/stress --gen gnm-connected:256:1024:7 \
+    --scenario examples/scenarios/smoke.scn --shards 2 --replicas 2 \
+    --name scn --quiet
+./target/release/stress --validate-report target/vcgp-bench/BENCH_stress_scn.json
+nphases=$(grep -o '"phase": "[a-z]*"' target/vcgp-bench/BENCH_stress_scn.json | wc -l)
+if [ "$nphases" -ne 2 ]; then
+    echo "error: scenario report has $nphases phase rows (expected 2)" >&2
+    exit 1
+fi
+echo "   ok: both phases reported, interval sums fold to totals"
+
+echo "== scenario desugar gate (legacy preset flags and their scenario-file"
+echo "   desugaring must report identical counts and answer hashes)"
+./target/release/stress --gen gnm-connected:256:1024:7 --ops 400 --duration 30 \
+    --seed 7 --mix mixed --shards 2 --name desugar-legacy --quiet
+./target/release/stress --gen gnm-connected:256:1024:7 --seed 7 --shards 2 \
+    --scenario examples/scenarios/mixed.scn --name desugar-scn --quiet
+dl=$(counts target/vcgp-bench/BENCH_stress_desugar-legacy.json)
+ds=$(counts target/vcgp-bench/BENCH_stress_desugar-scn.json)
+if [ "$dl" != "$ds" ]; then
+    echo "error: scenario desugaring diverged from the legacy preset flags:" >&2
+    echo "legacy:   $dl" >&2
+    echo "scenario: $ds" >&2
+    exit 1
+fi
+echo "   ok: desugaring exact ($(echo $dl | tr '\n' ' '))"
+
 echo "tier-1 verify: OK"
